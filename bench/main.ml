@@ -1,0 +1,172 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) from the cost model, and measures the
+   library's own algorithms with Bechamel (one Test.make per
+   table/figure, exercising the machinery behind it). *)
+
+open Linear_layout
+
+(* {1 Bechamel micro-benchmarks: the algorithm behind each experiment} *)
+
+let layout_a () =
+  Blocked.make
+    {
+      shape = [| 16; 16 |];
+      size_per_thread = [| 2; 2 |];
+      threads_per_warp = [| 4; 8 |];
+      warps_per_cta = [| 2; 1 |];
+      order = [| 1; 0 |];
+    }
+
+let machine = Gpusim.Machine.gh200
+
+let bench_tests () =
+  let open Bechamel in
+  let src = Blocked.default ~elems_per_thread:8 ~warp_size:32 ~num_warps:4 [| 128; 64 |] in
+  let dst = Mma.operand ~idx:0 ~bitwidth:16 ~warps:[| 4; 1 |] ~shape:[| 128; 64 |] () in
+  let shuffle_src =
+    Blocked.make
+      {
+        shape = [| 16; 16 |];
+        size_per_thread = [| 2; 2 |];
+        threads_per_warp = [| 4; 8 |];
+        warps_per_cta = [| 1; 1 |];
+        order = [| 1; 0 |];
+      }
+  in
+  let shuffle_dst =
+    Blocked.make
+      {
+        shape = [| 16; 16 |];
+        size_per_thread = [| 1; 4 |];
+        threads_per_warp = [| 16; 2 |];
+        warps_per_cta = [| 1; 1 |];
+        order = [| 1; 0 |];
+      }
+  in
+  let gemm = Tir.Kernels.find "gemm" in
+  [
+    (* Table 1: layout construction and inversion. *)
+    Test.make ~name:"table1/blocked-construct+invert"
+      (Staged.stage (fun () -> ignore (Layout.invert (layout_a ()))));
+    (* Table 3: contiguity analysis. *)
+    Test.make ~name:"table3/num-consecutive"
+      (Staged.stage (fun () -> ignore (Layout.num_consecutive src ~in_dim:Dims.register)));
+    (* Table 4: free-variable (broadcast) analysis. *)
+    Test.make ~name:"table4/free-variable-masks"
+      (Staged.stage (fun () -> ignore (Layout.free_variable_masks dst)));
+    (* Table 5: operand layout construction. *)
+    Test.make ~name:"table5/mma-operand-construct"
+      (Staged.stage (fun () ->
+           ignore (Mma.operand ~idx:0 ~bitwidth:16 ~warps:[| 4; 1 |] ~shape:[| 64; 64 |] ())));
+    (* Figure 2: optimal swizzle search. *)
+    Test.make ~name:"figure2/optimal-swizzle"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Swizzle_opt.optimal machine ~src ~dst ~byte_width:2)));
+    (* Figure 6: mxfp4 quantization (the software-emulation payload). *)
+    Test.make ~name:"figure6/mxfp4-quantize"
+      (let xs = Array.init 1024 (fun i -> Float.of_int (i mod 97) /. 7.) in
+       Staged.stage (fun () -> ignore (Tensor_lib.Mxfp4.quantize xs)));
+    (* Figure 7: warp-shuffle planning. *)
+    Test.make ~name:"figure7/shuffle-plan"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Shuffle.plan machine ~src:shuffle_src ~dst:shuffle_dst ~byte_width:4)));
+    (* Figure 8: gather planning. *)
+    Test.make ~name:"figure8/gather-plan"
+      (Staged.stage (fun () -> ignore (Codegen.Gather.plan src ~axis:1)));
+    (* Figure 9 / Table 6: the full layout engine on a gemm. *)
+    Test.make ~name:"figure9/engine-gemm-linear"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512))));
+    Test.make ~name:"figure9/engine-gemm-legacy"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Legacy_mode
+                (gemm.Tir.Kernels.build ~size:512))));
+    (* Conversion planning end to end. *)
+    Test.make ~name:"conversion/plan+classify"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Conversion.plan machine ~src ~dst ~byte_width:2)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Bench_support.Report.section "Bechamel micro-benchmarks (library algorithms)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let tests = Test.make_grouped ~name:"ll" (bench_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.sort compare !rows
+  |> List.iter (fun (name, est) -> Printf.printf "%-45s %14.1f ns/run\n" name est)
+
+(* {1 Command line} *)
+
+let run_filtered which =
+  let module E = Bench_support.Experiments in
+  match which with
+  | `All ->
+      E.run_all ();
+      run_bechamel ()
+  | `Table 1 -> ignore (E.table1 ())
+  | `Table 2 -> ignore (E.table2 ())
+  | `Table 3 -> ignore (E.table3 ())
+  | `Table 4 -> ignore (E.table4 ())
+  | `Table 5 -> ignore (E.table5 ())
+  | `Table 6 -> ignore (E.table6 ())
+  | `Figure 2 -> ignore (E.figure2 ())
+  | `Figure 6 -> ignore (E.figure6 ())
+  | `Figure 7 -> ignore (E.figure7 ())
+  | `Figure 8 -> ignore (E.figure8 ())
+  | `Figure 9 -> ignore (E.figure9 ())
+  | `Bechamel -> run_bechamel ()
+  | `Ablation -> E.run_ablations ()
+  | `Autotune -> ignore (E.extra_autotune ())
+  | `Table n | `Figure n ->
+      Printf.eprintf "no such experiment: %d\n" n;
+      exit 1
+
+let () =
+  let open Cmdliner in
+  let table =
+    Arg.(value & opt (some int) None & info [ "table" ] ~docv:"N" ~doc:"Run only table $(docv).")
+  in
+  let figure =
+    Arg.(value & opt (some int) None & info [ "figure" ] ~docv:"N" ~doc:"Run only figure $(docv).")
+  in
+  let bechamel_only =
+    Arg.(value & flag & info [ "bechamel" ] ~doc:"Run only the Bechamel micro-benchmarks.")
+  in
+  let ablation_only =
+    Arg.(value & flag & info [ "ablation" ] ~doc:"Run only the ablation studies.")
+  in
+  let autotune_only =
+    Arg.(value & flag & info [ "autotune" ] ~doc:"Run only the autotuning supplementary table.")
+  in
+  let main table figure bechamel_only ablation_only autotune_only =
+    match (table, figure, bechamel_only, ablation_only, autotune_only) with
+    | Some n, _, _, _, _ -> run_filtered (`Table n)
+    | _, Some n, _, _, _ -> run_filtered (`Figure n)
+    | _, _, true, _, _ -> run_filtered `Bechamel
+    | _, _, _, true, _ -> run_filtered `Ablation
+    | _, _, _, _, true -> run_filtered `Autotune
+    | _ -> run_filtered `All
+  in
+  let term =
+    Term.(const main $ table $ figure $ bechamel_only $ ablation_only $ autotune_only)
+  in
+  let info =
+    Cmd.info "bench"
+      ~doc:"Regenerate the paper's tables and figures from the GPU cost model."
+  in
+  exit (Cmd.eval (Cmd.v info term))

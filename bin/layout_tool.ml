@@ -1,0 +1,244 @@
+(* layout_tool: a command-line explorer for linear layouts.
+
+   Subcommands:
+     show     - construct a layout and print its basis and matrix
+     convert  - plan a conversion between two layouts
+     swizzle  - compute the optimal shared-memory swizzle for a pair
+     engine   - run the layout engine on a built-in kernel
+
+   Examples:
+     layout_tool show --kind blocked --shape 16x16 --spt 2x2 --tpw 4x8 --warps 2x1
+     layout_tool show --kind mma --shape 32x32 --bitwidth 16
+     layout_tool convert --shape 32x32 --src blocked --dst mma
+     layout_tool swizzle --shape 32x32 --byte-width 4
+     layout_tool engine --kernel gemm --machine GH200 *)
+
+open Linear_layout
+open Cmdliner
+
+let parse_dims s =
+  try Array.of_list (List.map int_of_string (String.split_on_char 'x' s))
+  with _ -> failwith (Printf.sprintf "cannot parse dimension list %S (expected e.g. 16x16)" s)
+
+let dims_conv =
+  let parse s = try Ok (parse_dims s) with Failure m -> Error (`Msg m) in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (String.concat "x" (Array.to_list (Array.map string_of_int a)))
+  in
+  Arg.conv (parse, print)
+
+let shape_arg =
+  Arg.(value & opt dims_conv [| 32; 32 |] & info [ "shape" ] ~docv:"MxN" ~doc:"Tensor shape.")
+
+let machine_arg =
+  let parse s =
+    match
+      List.find_opt (fun (m : Gpusim.Machine.t) -> m.name = s) Gpusim.Machine.all_with_extras
+    with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %S (RTX4090, GH200, MI250, PVC)" s))
+  in
+  let print ppf (m : Gpusim.Machine.t) = Format.pp_print_string ppf m.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gpusim.Machine.gh200
+    & info [ "machine" ] ~docv:"NAME" ~doc:"Simulated platform.")
+
+let build_layout ~kind ~shape ~spt ~tpw ~warps ~bitwidth ~order =
+  if String.length kind > 0 && kind.[0] = '{' then
+    (* Inline layout literal: {register=[(dim1:1)] ... -> dim0:16, dim1:16} *)
+    match Parse.of_string (String.sub kind 1 (String.length kind - 2)) with
+    | Ok l -> l
+    | Error e -> failwith ("cannot parse layout literal: " ^ e)
+  else
+  match kind with
+  | "blocked" ->
+      Blocked.make
+        {
+          shape;
+          size_per_thread = spt;
+          threads_per_warp = tpw;
+          warps_per_cta = warps;
+          order;
+        }
+  | "default" ->
+      Blocked.default ~elems_per_thread:spt.(Array.length spt - 1) ~warp_size:32
+        ~num_warps:(Array.fold_left ( * ) 1 warps) shape
+  | "mma" -> Mma.output ~bitwidth:32 ~warps ~shape ()
+  | "mma-a" -> Mma.operand ~idx:0 ~bitwidth ~warps ~shape ()
+  | "mma-b" -> Mma.operand ~idx:1 ~bitwidth ~warps ~shape ()
+  | "mfma" -> Mma.mfma_output ~m:16 ~warps ~shape ()
+  | "xmx" -> Mma.xmx_output ~warps ~shape ()
+  | other -> (
+      match Parse.of_string other with
+      | Ok l -> l
+      | Error _ -> failwith (Printf.sprintf "unknown layout kind %S" other))
+
+let kind_arg name default =
+  Arg.(
+    value & opt string default
+    & info [ name ] ~docv:"KIND"
+        ~doc:
+          "Layout kind: blocked, default, mma, mma-a, mma-b, mfma, or an inline layout \
+           literal like 'register=[(dim0:1)] -> dim0:2'.")
+
+let spt_arg = Arg.(value & opt dims_conv [| 1; 4 |] & info [ "spt" ] ~doc:"Size per thread.")
+let tpw_arg = Arg.(value & opt dims_conv [| 8; 4 |] & info [ "tpw" ] ~doc:"Threads per warp.")
+let warps_arg = Arg.(value & opt dims_conv [| 2; 2 |] & info [ "warps" ] ~doc:"Warps per CTA.")
+let order_arg = Arg.(value & opt dims_conv [| 1; 0 |] & info [ "order" ] ~doc:"Dim order, fastest first.")
+
+let bitwidth_arg =
+  Arg.(value & opt int 16 & info [ "bitwidth" ] ~doc:"Element bit width for mma layouts.")
+
+let byte_width_arg =
+  Arg.(value & opt int 4 & info [ "byte-width" ] ~doc:"Element byte width.")
+
+(* {1 show} *)
+
+let show kind shape spt tpw warps order bitwidth =
+  let l = build_layout ~kind ~shape ~spt ~tpw ~warps ~bitwidth ~order in
+  Format.printf "%a@.@." Layout.pp l;
+  Printf.printf "literal: %s\n\n" (Parse.to_string l);
+  Format.printf "matrix over F2:@.%a@.@." F2.Bitmatrix.pp (Layout.to_matrix l);
+  Printf.printf "distributed (Def 4.10): %b\n" (Layout.is_distributed l);
+  Printf.printf "invertible: %b\n" (Layout.is_invertible l);
+  Printf.printf "contiguous elems/thread: %d\n" (Layout.num_consecutive l ~in_dim:Dims.register);
+  let masks = Layout.free_variable_masks l in
+  if List.exists (fun (_, m) -> m <> 0) masks then
+    Printf.printf "broadcast (free) bits: %s\n"
+      (String.concat ", "
+         (List.filter_map
+            (fun (d, m) -> if m = 0 then None else Some (Printf.sprintf "%s:0x%x" d m))
+            masks));
+  (match Check.distributed l with
+  | [] -> ()
+  | issues -> Format.printf "diagnostics:@.%a@." Check.pp issues);
+  match Render.grid l with
+  | g ->
+      print_endline "";
+      print_endline g
+  | exception Invalid_argument _ -> ()
+
+let show_cmd =
+  Cmd.v (Cmd.info "show" ~doc:"Construct a layout and print it.")
+    Term.(
+      const show $ kind_arg "kind" "blocked" $ shape_arg $ spt_arg $ tpw_arg $ warps_arg
+      $ order_arg $ bitwidth_arg)
+
+(* {1 convert} *)
+
+let convert machine shape src_kind dst_kind spt tpw warps order bitwidth byte_width =
+  let mk kind = build_layout ~kind ~shape ~spt ~tpw ~warps ~bitwidth ~order in
+  let src = mk src_kind and dst = mk dst_kind in
+  let plan = Codegen.Conversion.plan machine ~src ~dst ~byte_width in
+  Printf.printf "mechanism: %s\n" (Codegen.Conversion.mechanism_name plan.mechanism);
+  let c = Codegen.Conversion.cost machine plan in
+  Format.printf "events: %a@." Gpusim.Cost.pp c;
+  Printf.printf "estimated cost: %.0f units\n" (Gpusim.Cost.estimate machine c);
+  let legacy = Legacy.Convert.cost machine ~src ~dst ~byte_width in
+  Printf.printf "legacy (padded shared) cost: %.0f units\n" (Gpusim.Cost.estimate machine legacy);
+  (* Verify on data. *)
+  let d = Gpusim.Dist.init src ~f:(fun i -> i) in
+  let ok = Gpusim.Dist.consistent_with (Codegen.Conversion.execute plan d) ~f:(fun i -> i) in
+  Printf.printf "verified on simulated data: %b\n" ok
+
+let convert_cmd =
+  Cmd.v (Cmd.info "convert" ~doc:"Plan a layout conversion.")
+    Term.(
+      const convert $ machine_arg $ shape_arg $ kind_arg "src" "blocked" $ kind_arg "dst" "mma"
+      $ spt_arg $ tpw_arg $ warps_arg $ order_arg $ bitwidth_arg $ byte_width_arg)
+
+(* {1 swizzle} *)
+
+let swizzle machine shape byte_width =
+  let src = Blocked.default ~elems_per_thread:4 ~warp_size:machine.Gpusim.Machine.warp_size
+      ~num_warps:4 shape
+  in
+  let dst =
+    Blocked.make
+      {
+        shape;
+        size_per_thread = [| 4; 1 |];
+        threads_per_warp = [| machine.Gpusim.Machine.warp_size / 4; 4 |];
+        warps_per_cta = [| 1; 4 |];
+        order = [| 0; 1 |];
+      }
+  in
+  let s = Codegen.Swizzle_opt.optimal machine ~src ~dst ~byte_width in
+  Format.printf "optimal memory layout:@.%a@." Layout.pp s.Codegen.Swizzle_opt.mem;
+  Printf.printf "vec = %d elements, store wf/inst = %d, load wf/inst = %d\n"
+    (1 lsl s.Codegen.Swizzle_opt.vec_bits)
+    s.Codegen.Swizzle_opt.store_wavefronts s.Codegen.Swizzle_opt.load_wavefronts
+
+let swizzle_cmd =
+  Cmd.v (Cmd.info "swizzle" ~doc:"Compute an optimal shared-memory swizzle.")
+    Term.(const swizzle $ machine_arg $ shape_arg $ byte_width_arg)
+
+(* {1 lower} *)
+
+let lower machine shape src_kind dst_kind spt tpw warps order bitwidth byte_width =
+  let mk kind = build_layout ~kind ~shape ~spt ~tpw ~warps ~bitwidth ~order in
+  let src = mk src_kind and dst = mk dst_kind in
+  let plan = Codegen.Conversion.plan machine ~src ~dst ~byte_width in
+  Printf.printf "// conversion via %s\n" (Codegen.Conversion.mechanism_name plan.mechanism);
+  let program, _ = Codegen.Lower.conversion machine plan in
+  Format.printf "%a" Gpusim.Isa.pp program;
+  let d = Gpusim.Dist.init src ~f:(fun i -> i) in
+  let d', cost = Codegen.Lower.run machine plan d in
+  Printf.printf "// executed: correct=%b\n" (Gpusim.Dist.consistent_with d' ~f:(fun i -> i));
+  Format.printf "// interpreter cost: %a@." Gpusim.Cost.pp cost
+
+let lower_cmd =
+  Cmd.v (Cmd.info "lower" ~doc:"Lower a conversion to the pseudo-ISA and execute it.")
+    Term.(
+      const lower $ machine_arg $ shape_arg $ kind_arg "src" "blocked" $ kind_arg "dst" "mma"
+      $ spt_arg $ tpw_arg $ warps_arg $ order_arg $ bitwidth_arg $ byte_width_arg)
+
+(* {1 engine} *)
+
+let engine machine kernel_name autotune =
+  let k = Tir.Kernels.find kernel_name in
+  let size = List.hd k.Tir.Kernels.sizes in
+  (if autotune then
+     let cfg, _ =
+       Tir.Autotune.best machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build ~size
+     in
+     Printf.printf "autotuned num_warps: %d (gain %.2fx over the 4-warp default)\n"
+       cfg.Tir.Autotune.num_warps
+       (Tir.Autotune.tuning_gain machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build
+          ~size));
+  let prog = k.Tir.Kernels.build ~size in
+  Format.printf "%a@." Tir.Program.pp prog;
+  let run mode name =
+    let r = Tir.Validate.run_and_validate machine ~mode prog in
+    Printf.printf "%-7s converts=%d noop=%d local_load=%d local_store=%d time=%.0f\n" name
+      r.Tir.Engine.converts r.Tir.Engine.noop_converts r.Tir.Engine.local_loads
+      r.Tir.Engine.local_stores (Tir.Engine.time machine r);
+    List.iter (fun u -> Printf.printf "        unsupported: %s\n" u) r.Tir.Engine.unsupported;
+    Tir.Engine.time machine r
+  in
+  let tl = run Tir.Engine.Linear "linear" in
+  let tg = run Tir.Engine.Legacy_mode "legacy" in
+  Printf.printf "speedup: %.2fx\n" (tg /. tl)
+
+let kernel_arg =
+  Arg.(
+    value & opt string "gemm"
+    & info [ "kernel" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Kernel to run: %s."
+             (String.concat ", " (List.map (fun k -> k.Tir.Kernels.name) Tir.Kernels.all))))
+
+let autotune_arg =
+  Arg.(value & flag & info [ "autotune" ] ~doc:"Search num_warps with the cost model first.")
+
+let engine_cmd =
+  Cmd.v (Cmd.info "engine" ~doc:"Run the layout engine on a built-in kernel.")
+    Term.(const engine $ machine_arg $ kernel_arg $ autotune_arg)
+
+let () =
+  let info =
+    Cmd.info "layout_tool" ~doc:"Explore linear layouts over F2 (ASPLOS'26 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd ]))

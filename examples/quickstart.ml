@@ -1,0 +1,68 @@
+(* Quickstart: define the paper's running example (Layout A of
+   Figure 1 / Section 4.1), inspect it, apply it, invert it, and play
+   with the layout algebra.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Linear_layout
+
+let () =
+  (* Layout A: a 16x16 tensor held by 2 warps of 32 threads, each
+     thread owning a 2x2 register tile; dim1 is the fastest dimension. *)
+  let a =
+    Blocked.make
+      {
+        shape = [| 16; 16 |];
+        size_per_thread = [| 2; 2 |];
+        threads_per_warp = [| 4; 8 |];
+        warps_per_cta = [| 2; 1 |];
+        order = [| 1; 0 |];
+      }
+  in
+  Format.printf "Layout A as a linear layout:@.%a@.@." Layout.pp a;
+  print_endline "Figure 1a, rendered (warp:thread:register per cell):";
+  print_endline (Render.grid a);
+
+  (* Where does register 1 of thread 9 in warp 0 live?  (Table 1 says
+     (2, 3).) *)
+  let out = Layout.apply a [ (Dims.register, 1); (Dims.lane, 9); (Dims.warp, 0) ] in
+  Format.printf "r1 of t9 in w0 -> (%d, %d)@."
+    (List.assoc (Dims.dim 0) out)
+    (List.assoc (Dims.dim 1) out);
+
+  (* The matrix of Section 4.1, reproduced exactly. *)
+  Format.printf "@.The 8x8 matrix over F2 (low rows = fastest dim j):@.%a@."
+    F2.Bitmatrix.pp (Layout.to_matrix a);
+
+  (* Every distributed layout is invertible or at least has a right
+     inverse; inverting recovers hardware indices from tensor
+     coordinates. *)
+  let inv = Layout.invert a in
+  let hw = Layout.apply inv [ (Dims.dim 0, 2); (Dims.dim 1, 3) ] in
+  Format.printf "@.element (2,3) lives at register %d, thread %d, warp %d@."
+    (List.assoc Dims.register hw) (List.assoc Dims.lane hw) (List.assoc Dims.warp hw);
+
+  (* Layout algebra: product (Definition 4.3) and composition
+     (Definition 4.2). *)
+  let regs = Layout.identity1d 2 ~in_dim:Dims.register ~out_dim:(Dims.dim 0) in
+  let lanes = Layout.identity1d 3 ~in_dim:Dims.lane ~out_dim:(Dims.dim 0) in
+  let product = Layout.mul regs lanes in
+  Format.printf "@.register x lane product covers %d elements:@.%a@."
+    (Layout.out_size product (Dims.dim 0))
+    Layout.pp product;
+
+  (* Contiguity analysis (Section 5.1): layout A holds 2 consecutive
+     elements per thread (r0,r1 along dim1). *)
+  Format.printf "@.contiguous elements per thread in A: %d@."
+    (Layout.num_consecutive a ~in_dim:Dims.register);
+
+  (* Broadcasting: slicing away dim1 (a reduction) leaves free register
+     bits — hardware points that hold duplicated data. *)
+  let sliced = Sliced.make a ~dim:1 in
+  Format.printf "@.after reducing dim1, free-variable masks: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (d, m) -> Printf.sprintf "%s:0b%s" d (F2.Bitvec.to_string ~width:4 m))
+          (Layout.free_variable_masks sliced)));
+  Format.printf "compressed reduction result:@.%a@." Layout.pp
+    (Sliced.reduction_result a ~dim:1)

@@ -1,0 +1,66 @@
+open Linear_layout
+
+type plan =
+  | Warp_shuffle of { rounds : int; shuffles : int }
+  | Shared_fallback
+
+let axis_component l in_dim axis k =
+  match List.assoc_opt (Dims.dim axis) (Layout.basis l in_dim k) with
+  | Some c -> c
+  | None -> 0
+
+let plan l ~axis =
+  let warp_touches_axis =
+    List.exists
+      (fun k -> axis_component l Dims.warp axis k <> 0)
+      (List.init (Layout.in_bits l Dims.warp) Fun.id)
+  in
+  if warp_touches_axis then Shared_fallback
+  else
+    let thr_axis_bits =
+      List.length
+        (List.filter
+           (fun k -> axis_component l Dims.lane axis k <> 0)
+           (List.init (Layout.in_bits l Dims.lane) Fun.id))
+    in
+    let rounds = 1 lsl thr_axis_bits in
+    let regs = 1 lsl Layout.in_bits l Dims.register in
+    Warp_shuffle { rounds; shuffles = rounds * regs }
+
+let execute ~src ~index ~axis =
+  let l = src.Gpusim.Dist.layout in
+  if not (Layout.equal l index.Gpusim.Dist.layout) then
+    failwith "Gather.execute: src and index layouts differ";
+  let ok = function Ok t -> t | Error e -> failwith ("Gather.execute: " ^ e) in
+  let t_src = ok (Gpusim.Dist.to_logical src) in
+  let t_idx = ok (Gpusim.Dist.to_logical index) in
+  let out_dims = Layout.out_dims l in
+  let axis_size = Layout.out_size l (Dims.dim axis) in
+  Gpusim.Dist.init l ~f:(fun v ->
+      let coords = Layout.unflatten_value out_dims v in
+      let idx = t_idx.(v) land (axis_size - 1) in
+      let coords' =
+        List.map (fun (d, c) -> (d, if d = Dims.dim axis then idx else c)) coords
+      in
+      t_src.(Layout.flatten_value out_dims coords'))
+
+let cost machine l ~axis:_ p =
+  let c = Gpusim.Cost.zero () in
+  let regs = 1 lsl Layout.in_bits l Dims.register in
+  let warps = 1 lsl Layout.in_bits l Dims.warp in
+  (match p with
+  | Warp_shuffle { rounds; _ } ->
+      (* A round that stays within the thread is a predicated register
+         move; only cross-lane rounds emit shuffles. *)
+      c.Gpusim.Cost.shuffles <- (if rounds > 1 then rounds * regs * warps else 0);
+      c.Gpusim.Cost.alu <- 3 * regs * warps
+  | Shared_fallback ->
+      (* Store everything, barrier, then index-dependent unvectorized
+         loads whose random addresses average heavy bank conflicts,
+         then a second barrier before the buffer can be reused. *)
+      c.Gpusim.Cost.smem_insts <- 2 * regs * warps;
+      c.Gpusim.Cost.smem_wavefronts <- (regs + (8 * regs)) * warps;
+      c.Gpusim.Cost.alu <- 3 * regs * warps;
+      c.Gpusim.Cost.barriers <- 2);
+  ignore machine;
+  c

@@ -1,0 +1,24 @@
+(** Warp-shuffle codegen for [tl.gather] (Section 5.5).
+
+    When every element along the gathered axis lives within one warp
+    ([L_Wrp] has no component on the axis), the gather runs as
+    [2^|L_Thr^axis|] rounds of warp shuffles instead of a shared-memory
+    round trip. *)
+
+open Linear_layout
+
+type plan =
+  | Warp_shuffle of { rounds : int; shuffles : int }
+      (** [rounds] per output element; [shuffles] total per warp. *)
+  | Shared_fallback
+
+(** [plan layout ~axis] — [layout] is the common layout of [src] and
+    [index]. *)
+val plan : Layout.t -> axis:int -> plan
+
+(** Reference gather semantics on distributed data: [src] and [index]
+    share a layout; the result holds
+    [src[..., index[pos], ...]] along [axis]. *)
+val execute : src:Gpusim.Dist.t -> index:Gpusim.Dist.t -> axis:int -> Gpusim.Dist.t
+
+val cost : Gpusim.Machine.t -> Layout.t -> axis:int -> plan -> Gpusim.Cost.t

@@ -1,0 +1,89 @@
+(** Lowering of conversion plans to the warp-level pseudo-ISA.
+
+    This is the last mile of Section 5: the planner's algebra
+    (register permutations, shuffle rounds, swizzled shared-memory
+    round trips) becomes an inspectable instruction stream that the
+    {!Gpusim.Isa} interpreter executes on concrete register files and
+    shared memory.
+
+    Slot convention: the source value occupies slots
+    [0 .. src_regs-1] (register [r] of the source layout in slot [r]);
+    the destination value lands in slots
+    [dst_base .. dst_base + dst_regs - 1]; two staging slots follow for
+    shuffle traffic. *)
+
+open Linear_layout
+
+type slot_map = {
+  src_regs : int;
+  dst_base : int;
+  dst_regs : int;
+  total_slots : int;
+}
+
+(** [conversion machine plan] lowers a {!Conversion.plan}.  The emitted
+    program's shape (warps/lanes) comes from the plan's layouts.
+    Raises [Failure] on plans whose layouts broadcast across lanes in a
+    way the lowering does not support (the planner's shared path always
+    works). *)
+val conversion : Gpusim.Machine.t -> Conversion.plan -> Gpusim.Isa.program * slot_map
+
+(** [load_state program map ~src dist] builds interpreter state with
+    the source slots filled from a distributed tensor. *)
+val load_state : Gpusim.Isa.program -> slot_map -> Gpusim.Dist.t -> Gpusim.Isa.state
+
+(** [store_dist map ~dst state] reads the destination slots back into a
+    distributed tensor over layout [dst]. *)
+val store_dist : slot_map -> dst:Layout.t -> Gpusim.Isa.state -> Gpusim.Dist.t
+
+(** Convenience: lower, execute, and return the converted data plus the
+    interpreter-accounted cost — used by tests to cross-check the
+    algebraic executors and cost estimates. *)
+val run :
+  Gpusim.Machine.t -> Conversion.plan -> Gpusim.Dist.t -> Gpusim.Dist.t * Gpusim.Cost.t
+
+(** [gather machine ~src ~index ~axis] lowers a warp-shuffle gather
+    (Section 5.5) to instructions: per destination register, rounds of
+    publish/shuffle/commit where each source lane serves one request
+    per round.  The per-lane tables stand for the address arithmetic
+    real code derives from the index registers at run time.  [Error]
+    when the gather leaves the warp (the shared-memory fallback). *)
+val gather :
+  Gpusim.Machine.t ->
+  src:Gpusim.Dist.t ->
+  index:Gpusim.Dist.t ->
+  axis:int ->
+  (Gpusim.Isa.program * slot_map, string) result
+
+(** [reduce machine ~src ~axis] lowers an all-reduce (sum) over logical
+    dimension [axis] of a distributed tensor:
+
+    + a register tree combining the thread-local elements that differ
+      only along the axis;
+    + a butterfly of warp shuffles over the lane bits on the axis;
+    + a shared-memory exchange of per-warp partials when warps split
+      the axis.
+
+    The result distributes the reduced value over the {e sliced} layout
+    [Sliced.make src.layout ~dim:axis] with every original hardware
+    point holding its row's total — so reading it back through the
+    (non-injective) sliced layout also verifies all copies agree.
+    Returns the program, the slot map, and the result layout. *)
+val reduce :
+  ?op:[ `Add | `Max ] ->
+  Gpusim.Machine.t ->
+  src:Gpusim.Dist.t ->
+  axis:int ->
+  Gpusim.Isa.program * slot_map * Layout.t
+
+(** [scan machine ~src ~axis] lowers an inclusive prefix sum over
+    logical dimension [axis], provided the axis is confined to
+    registers and lanes (a warp-local scan): an in-register sequential
+    pass followed by a Hillis-Steele shuffle scan over the axis lane
+    bits.  The result keeps the source layout.  [Error] when warps
+    split the axis. *)
+val scan :
+  Gpusim.Machine.t ->
+  src:Gpusim.Dist.t ->
+  axis:int ->
+  (Gpusim.Isa.program * slot_map, string) result

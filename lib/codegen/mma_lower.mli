@@ -1,0 +1,36 @@
+(** Generic lowering of matrix-multiplication intrinsics over layouts
+    (the appendix's Proposition 9.2 construction, executed).
+
+    A warp-level tensor-core instruction can only read fragments the
+    warp itself holds, so a valid (output, lhs, rhs) layout triple must
+    satisfy: every warp that owns an output element [(i, j)] also owns
+    [lhs(i, k)] and [rhs(k, j)] for every [k] — this is exactly the
+    broadcast-along-the-inner-dimension condition of the operand
+    construction.  [check_ownership] decides it, and [execute_dot]
+    computes the product reading operands {e only} through each warp's
+    own fragments, so a passing run certifies the layouts. *)
+
+open Linear_layout
+
+type violation = { warp : int; missing : string }
+
+(** [check_ownership ~out ~lhs ~rhs] verifies the warp-ownership
+    condition for an [m x k] by [k x n] product. *)
+val check_ownership : out:Layout.t -> lhs:Layout.t -> rhs:Layout.t -> (unit, violation) result
+
+(** [execute_dot ~out ~lhs ~rhs a b ~mul ~add ~zero] computes the dot
+    product into the output layout, reading each warp's operands only
+    from that warp's registers.  Raises [Failure] if ownership is
+    violated or operand copies disagree. *)
+val execute_dot :
+  out:Layout.t ->
+  Gpusim.Dist.t ->
+  Gpusim.Dist.t ->
+  mul:(int -> int -> int) ->
+  add:(int -> int -> int) ->
+  zero:int ->
+  Gpusim.Dist.t
+
+(** Tensor-core instruction count for the triple: warps x k-steps x
+    tiles per warp. *)
+val mma_instructions : out:Layout.t -> lhs:Layout.t -> bitwidth:int -> int

@@ -1,0 +1,25 @@
+(** Staging of dot operands through shared memory using the dedicated
+    mma swizzling of Definition 4.11, enabling [ldmatrix]/[stmatrix]
+    when the tile divides the resulting register-to-offset map
+    (Section 5.3).
+
+    This is the specialised path real Triton uses for tensor-core
+    operands; the generic optimal swizzle of Section 5.4 remains the
+    fallback for arbitrary conversions. *)
+
+open Linear_layout
+
+type t = {
+  mem : Layout.t;  (** the swizzled memory layout *)
+  vec : int;  (** Def 4.11 [vec] parameter, in elements *)
+  per_phase : int;
+  max_phase : int;
+  uses_ldmatrix : bool;
+  staging_cost : Gpusim.Cost.t;  (** store + barrier + load *)
+}
+
+(** [plan machine ~src ~dst ~byte_width] stages a 2-D operand held in
+    [src] into the tensor-core layout [dst].  [None] when the operand
+    is not 2-D or too small for the swizzle pattern. *)
+val plan :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> t option

@@ -1,0 +1,110 @@
+open Linear_layout
+
+type t = {
+  src : Layout.t;
+  dst : Layout.t;
+  vec : int list;
+  common_thr : int list;
+  g : int list;
+  ext : int list;
+  rounds : int;
+  shuffles_per_round : int;
+}
+
+let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.flat_columns l d)
+let set_diff a b = List.filter (fun x -> not (List.mem x b)) a
+let set_inter a b = List.filter (fun x -> List.mem x b) a
+
+let plan machine ~src ~dst ~byte_width =
+  let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
+  if Layout.out_dims a <> Layout.out_dims b then Error "layouts cover different logical spaces"
+  else if Layout.flat_columns a Dims.warp <> Layout.flat_columns b Dims.warp then
+    Error "conversion crosses warps"
+  else if Layout.flat_columns a Dims.block <> Layout.flat_columns b Dims.block then
+    Error "conversion crosses CTAs"
+  else if not (Layout.is_invertible a && Layout.is_invertible b) then
+    Error "broadcasting layouts need the shared-memory path"
+  else begin
+    ignore machine;
+    let d = Layout.total_out_bits a in
+    let a_reg = nonzero_cols a Dims.register and b_reg = nonzero_cols b Dims.register in
+    let a_thr = nonzero_cols a Dims.lane and b_thr = nonzero_cols b Dims.lane in
+    let vec = set_inter a_reg b_reg in
+    let common_thr = set_inter a_thr b_thr in
+    let e = List.sort compare (set_diff a_thr common_thr) in
+    let f = List.sort compare (set_diff b_thr common_thr) in
+    if List.length e <> List.length f then Error "thread spaces of unequal size"
+    else begin
+      let g = List.map2 ( lxor ) e f in
+      let vig = vec @ common_thr @ g in
+      if F2.Subspace.dim vig <> List.length vig then
+        Error "V u I u G is not independent (unexpected for distributed layouts)"
+      else
+        let ext = F2.Subspace.complete_basis ~dim:d vig in
+        let payload_bytes = (1 lsl List.length vec) * byte_width in
+        Ok
+          {
+            src;
+            dst;
+            vec;
+            common_thr;
+            g;
+            ext;
+            rounds = 1 lsl List.length ext;
+            shuffles_per_round = max 1 (payload_bytes / 4);
+          }
+    end
+  end
+
+let total_shuffles p = p.rounds * p.shuffles_per_round
+
+(* Split a flattened hardware index into (register, lane+warp) parts;
+   registers occupy the low bits in canonical order. *)
+let thread_of_hw layout hw = hw lsr Layout.in_bits layout Dims.register
+
+let execute p (src_dist : Gpusim.Dist.t) =
+  if not (Layout.equal src_dist.Gpusim.Dist.layout p.src) then
+    failwith "Shuffle.execute: distribution does not match the plan's source layout";
+  let a = Layout.flatten_outs p.src and b = Layout.flatten_outs p.dst in
+  let a_inv = Layout.invert (Layout.flatten_ins a) and b_inv = Layout.invert (Layout.flatten_ins b) in
+  let dst = Array.make (1 lsl Layout.total_in_bits p.dst) 0 in
+  let vig = Array.to_list (F2.Subspace.span_elements (p.vec @ p.common_thr @ p.g)) in
+  let reps = F2.Subspace.span_elements p.ext in
+  let vec_basis = p.vec in
+  Array.iter
+    (fun rep ->
+      (* Check the round is a legal warp shuffle: per thread, exactly one
+         vectorized payload sent and one received. *)
+      let sends = Hashtbl.create 64 and recvs = Hashtbl.create 64 in
+      List.iter
+        (fun s ->
+          let x = rep lxor s in
+          let hw_src = Layout.apply_flat a_inv x and hw_dst = Layout.apply_flat b_inv x in
+          dst.(hw_dst) <- src_dist.Gpusim.Dist.data.(hw_src);
+          let payload = F2.Subspace.reduce vec_basis x in
+          let note tbl thr =
+            let prev = match Hashtbl.find_opt tbl thr with Some l -> l | None -> [] in
+            if not (List.mem payload prev) then Hashtbl.replace tbl thr (payload :: prev)
+          in
+          note sends (thread_of_hw p.src hw_src);
+          note recvs (thread_of_hw p.dst hw_dst))
+        vig;
+      Hashtbl.iter
+        (fun _ payloads ->
+          if List.length payloads <> 1 then
+            failwith "Shuffle.execute: a thread sends more than one payload per round")
+        sends;
+      Hashtbl.iter
+        (fun _ payloads ->
+          if List.length payloads <> 1 then
+            failwith "Shuffle.execute: a thread receives more than one payload per round")
+        recvs)
+    reps;
+  { Gpusim.Dist.layout = p.dst; data = dst }
+
+let cost p =
+  let c = Gpusim.Cost.zero () in
+  c.Gpusim.Cost.shuffles <- total_shuffles p;
+  (* Address computation and predication around each shuffle. *)
+  c.Gpusim.Cost.alu <- 2 * total_shuffles p;
+  c

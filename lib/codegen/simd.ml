@@ -1,0 +1,55 @@
+open Linear_layout
+
+let vec_tile ~bits ~byte_width =
+  let elems = Util.log2 (bits / (byte_width * 8)) in
+  Layout.identity1d elems ~in_dim:Dims.register ~out_dim:Dims.offset
+
+let ldmatrix_tile ~byte_width =
+  let k = Util.log2 (4 / byte_width) in
+  Layout.mul
+    (Layout.identity1d k ~in_dim:Dims.register ~out_dim:Dims.offset)
+    (Layout.identity1d 2 ~in_dim:Dims.lane ~out_dim:Dims.offset)
+
+let max_vector_bits l ~byte_width ~max_bits =
+  let consecutive = Layout.num_consecutive l ~in_dim:Dims.register in
+  min (consecutive * byte_width * 8) max_bits
+
+let can_use_ldmatrix ?(permute_registers = true) l ~byte_width =
+  if byte_width > 4 || 4 mod byte_width <> 0 then false
+  else if Layout.divide_left l (ldmatrix_tile ~byte_width) <> None then true
+  else if not permute_registers then false
+  else begin
+    (* Generalized vectorization (Section 5.3): a register permutation
+       P_Reg may expose the tile.  The permuted layout divides the tile
+       iff (a) for every low offset bit j < k some register column is
+       exactly [e_j], (b) lane bits 0 and 1 map to offset bits k and
+       k+1, and (c) every other column avoids the tile's offset bits. *)
+    let k = Util.log2 (4 / byte_width) in
+    let low_mask = (1 lsl (k + 2)) - 1 in
+    let reg_cols = Layout.flat_columns l Dims.register in
+    let lane_cols = Layout.flat_columns l Dims.lane in
+    let warp_cols = Layout.flat_columns l Dims.warp in
+    let chosen = List.init k (fun j -> List.find_opt (fun c -> c = 1 lsl j) reg_cols) in
+    let lanes_ok =
+      match lane_cols with
+      | c0 :: c1 :: _ -> c0 = 1 lsl k && c1 = 1 lsl (k + 1)
+      | _ -> false
+    in
+    List.for_all Option.is_some chosen && lanes_ok
+    && List.for_all
+         (fun c -> c land low_mask = 0)
+         (List.filter (fun c -> not (List.mem (Some c) chosen)) reg_cols
+         @ (match lane_cols with _ :: _ :: rest -> rest | _ -> [])
+         @ warp_cols)
+  end
+
+let vectorizable_register_bits l =
+  let cols = Layout.flat_columns l Dims.register in
+  let rec go j acc =
+    match List.find_index (fun c -> c = 1 lsl j) cols with
+    | Some k when not (List.mem k acc) -> go (j + 1) (k :: acc)
+    | _ -> List.rev acc
+  in
+  go 0 []
+
+let instruction_name = Gpusim.Coalesce.instruction_name

@@ -1,0 +1,38 @@
+(** SIMD hardware-primitive matching by left division (Section 5.3).
+
+    An instruction is usable for a register-to-offset mapping [l] when
+    its tile [t] divides [l] on the left (Theorem 5.1). *)
+
+open Linear_layout
+
+(** The tile of a vectorized shared-memory access of [2^bits] bits for
+    elements of [byte_width] bytes: an identity from registers onto the
+    low offset bits. *)
+val vec_tile : bits:int -> byte_width:int -> Layout.t
+
+(** The [ldmatrix]/[stmatrix] tile: each thread handles 4 contiguous
+    bytes, 8 groups of 4 threads each storing a row —
+    [id_k^(Reg,Off) x id_2^(Thr,Off)] with [k = log2 (4 / byte_width)]. *)
+val ldmatrix_tile : byte_width:int -> Layout.t
+
+(** [max_vector_bits l ~byte_width ~max_bits] is the widest vectorized
+    access usable for the register-to-offset map [l]: the largest
+    power-of-two run of registers mapping identically onto consecutive
+    offsets, in bits, capped at [max_bits]. *)
+val max_vector_bits : Layout.t -> byte_width:int -> max_bits:int -> int
+
+(** [can_use_ldmatrix l ~byte_width] checks the tile divides [l],
+    optionally after the generalized-vectorization register permutation
+    of Section 5.3 (on by default). *)
+val can_use_ldmatrix : ?permute_registers:bool -> Layout.t -> byte_width:int -> bool
+
+(** Generalized vectorization (Section 5.3): find register basis indices
+    whose columns are the identity onto the low offset bits in some
+    order, i.e. a register permutation [P_Reg] making [P_Reg l]
+    divisible by a vector tile.  Returns the indices ordered so that
+    index [j] maps to offset bit [j]; the run stops at the first
+    missing offset bit. *)
+val vectorizable_register_bits : Layout.t -> int list
+
+(** Instruction mnemonic for Table 3, e.g. [v4.b32] for 128 bits. *)
+val instruction_name : bits:int -> string

@@ -1,0 +1,208 @@
+open Linear_layout
+
+type t = {
+  mem : Layout.t;
+  vec : int list;
+  seg : int list;
+  bank : int list;
+  vec_bits : int;
+  store_wavefronts : int;
+  load_wavefronts : int;
+}
+
+let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.flat_columns l d)
+let set_diff a b = List.filter (fun x -> not (List.mem x b)) a
+let set_inter a b = List.filter (fun x -> List.mem x b) a
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop_last k l = take (max 0 (List.length l - k)) l
+
+let logical_shape l =
+  let dims = Layout.out_dims l in
+  let rank = List.length dims in
+  let shape = Array.make rank 1 in
+  List.iter
+    (fun (d, bits) ->
+      match Dims.dim_index d with
+      | Some i -> shape.(i) <- 1 lsl bits
+      | None -> invalid_arg "Swizzle_opt: layouts must map onto logical dimensions")
+    dims;
+  shape
+
+(* Greedily extend [chosen] with candidates independent from
+   [base @ chosen], until [needed] vectors are picked. *)
+let pick ~base ~needed candidates =
+  List.fold_left
+    (fun chosen cand ->
+      if List.length chosen >= needed then chosen
+      else if cand <> 0 && F2.Subspace.independent_from (base @ chosen) cand then
+        chosen @ [ cand ]
+      else chosen)
+    [] candidates
+
+let banks_per_access ~vec_bits ~byte_width = max 1 ((1 lsl vec_bits) * byte_width / 4)
+
+let predict_wavefronts machine ~vec ~seg ~dist ~byte_width =
+  ignore machine;
+  let vec_bits = List.length vec in
+  let n = banks_per_access ~vec_bits ~byte_width in
+  let thr = nonzero_cols (Layout.flatten_outs dist) Dims.lane in
+  let bank_thr = drop_last (Util.log2 n) thr in
+  let inter = F2.Subspace.intersection (vec @ seg) bank_thr in
+  n * (1 lsl List.length inter)
+
+let optimal machine ~src ~dst ~byte_width =
+  let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
+  if Layout.out_dims a <> Layout.out_dims b then
+    invalid_arg "Swizzle_opt.optimal: layouts cover different logical spaces";
+  let d = Layout.total_out_bits a in
+  let a_reg = nonzero_cols a Dims.register and b_reg = nonzero_cols b Dims.register in
+  let a_thr = nonzero_cols a Dims.lane and b_thr = nonzero_cols b Dims.lane in
+  (* V: common register basis, capped at the widest vectorized access. *)
+  let max_v = Util.log2 (machine.Gpusim.Machine.max_vec_bits / 8 / byte_width) in
+  let vec = take max_v (List.sort compare (set_inter a_reg b_reg)) in
+  let v = List.length vec in
+  let n = banks_per_access ~vec_bits:v ~byte_width in
+  let k = Util.log2 n in
+  (* Bank space: vectorized elements needed to cover all 32 banks. *)
+  let bank_bytes_total =
+    machine.Gpusim.Machine.num_banks * machine.Gpusim.Machine.bank_bytes
+  in
+  let b_nominal =
+    if (1 lsl v) * byte_width >= bank_bytes_total then 0
+    else Util.log2 (bank_bytes_total / ((1 lsl v) * byte_width))
+  in
+  let b_bits = min b_nominal (d - v) in
+  let s = d - v - b_bits in
+  (* Thread columns that matter for conflicts: vectorized accesses wider
+     than a bank are split into phases selected by the last thread
+     bits, which therefore cannot conflict. *)
+  let a_bank = drop_last k a_thr and b_bank = drop_last k b_thr in
+  let e0 = List.sort compare (set_diff a_bank b_bank) in
+  let f0 = List.sort compare (set_diff b_bank a_bank) in
+  let e, f = if List.length e0 <= List.length f0 then (e0, f0) else (f0, e0) in
+  let h = List.map2 ( lxor ) e (take (List.length e) f) in
+  let p_basis = vec @ a_bank @ b_bank in
+  let c_comp = F2.Subspace.complement ~dim:d p_basis in
+  (* Segment basis: prefer H (conflict-free for both sides), then the
+     complement C; fall back to A's thread columns (unavoidable
+     conflicts), then arbitrary completion. *)
+  let seg = pick ~base:vec ~needed:s (h @ c_comp) in
+  let seg =
+    if List.length seg < s then
+      seg @ pick ~base:(vec @ seg) ~needed:(s - List.length seg) a_bank
+    else seg
+  in
+  let seg =
+    if List.length seg < s then
+      seg
+      @ take (s - List.length seg) (F2.Subspace.complete_basis ~dim:d (vec @ seg))
+    else seg
+  in
+  let bank = F2.Subspace.complete_basis ~dim:d (vec @ seg) in
+  (* For sub-word element widths the lowest [log2 (4 / w)] offset bits
+     select a byte within a 4-byte bank word.  A thread column placed
+     there would make lanes that differ in it share a bank while
+     differing in the word (via the paired segment bit) — a conflict the
+     bank simulator confirms.  Order the bank space so thread columns
+     occupy word-address bits and only non-thread columns (typically
+     register columns) fill the byte bits. *)
+  let bank =
+    let byte_bits = if (1 lsl v) * byte_width >= 4 then 0 else Util.log2 (4 / ((1 lsl v) * byte_width)) in
+    if byte_bits = 0 then bank
+    else
+      let is_thread c = List.mem c a_thr || List.mem c b_thr in
+      let non_thread, thread = List.partition (fun c -> not (is_thread c)) bank in
+      non_thread @ thread
+  in
+  let mem = Shared.of_basis_columns ~shape:(logical_shape src) (vec @ bank @ seg) in
+  {
+    mem;
+    vec;
+    seg;
+    bank;
+    vec_bits = v;
+    store_wavefronts = predict_wavefronts machine ~vec ~seg ~dist:src ~byte_width;
+    load_wavefronts = predict_wavefronts machine ~vec ~seg ~dist:dst ~byte_width;
+  }
+
+let simulate_wavefronts machine ~mem ~dist ~byte_width ~vec =
+  let flat = Layout.flatten_outs dist in
+  let mem_inv = Layout.invert (Layout.flatten_outs mem) in
+  let reg_bits = Layout.in_bits dist Dims.register in
+  let lane_bits = Layout.in_bits dist Dims.lane in
+  (* One instruction covers the same register slots in every lane
+     (SIMT): the vectorized registers are those whose columns lie in the
+     vectorization basis, the remaining register bits enumerate the
+     instructions. *)
+  let reg_cols = Array.of_list (Layout.flat_columns flat Dims.register) in
+  let vec_idx =
+    List.filter (fun k -> List.mem reg_cols.(k) vec) (List.init reg_bits Fun.id)
+  in
+  let other_idx =
+    List.filter (fun k -> not (List.mem k vec_idx)) (List.init reg_bits Fun.id)
+  in
+  let vec_elems = 1 lsl List.length vec_idx in
+  let scatter sel idxs base =
+    fst
+      (List.fold_left
+         (fun (acc, i) k ->
+           ((if sel land (1 lsl i) <> 0 then acc lor (1 lsl k) else acc), i + 1))
+         (base, 0) idxs)
+  in
+  let reg_of ~group ~within = scatter within vec_idx (scatter group other_idx 0) in
+  let offset_of lane r =
+    let hw = r lor (lane lsl reg_bits) in
+    Layout.apply_flat mem_inv (Layout.apply_flat flat hw)
+  in
+  let insts = 1 lsl List.length other_idx in
+  let total = ref 0 in
+  for g = 0 to insts - 1 do
+    let accesses =
+      List.init (1 lsl lane_bits) (fun lane ->
+          let offsets =
+            List.init vec_elems (fun v -> offset_of lane (reg_of ~group:g ~within:v))
+            |> List.sort compare
+          in
+          let base = List.hd offsets in
+          (* The vectorized registers must map onto consecutive aligned
+             offsets; the planner guarantees this for its own memory
+             layouts. *)
+          List.iteri
+            (fun i o ->
+              if o <> base + i then
+                invalid_arg "Swizzle_opt.simulate_wavefronts: access is not contiguous")
+            offsets;
+          { Gpusim.Banks.addr = base * byte_width; bytes = vec_elems * byte_width })
+    in
+    total := !total + Gpusim.Banks.wavefronts machine accesses
+  done;
+  (!total, insts)
+
+let execute ~mem ~dst src_dist =
+  match Gpusim.Dist.to_logical src_dist with
+  | Error e -> failwith ("Swizzle_opt.execute: " ^ e)
+  | Ok tensor ->
+      let mem_flat = Layout.flatten_outs mem in
+      let smem = Array.make (Array.length tensor) 0 in
+      Array.iteri
+        (fun off _ -> smem.(off) <- tensor.(Layout.apply_flat mem_flat off))
+        smem;
+      let mem_inv = Layout.invert mem_flat in
+      Gpusim.Dist.init dst ~f:(fun logical ->
+          smem.(Layout.apply_flat mem_inv logical))
+
+let cost machine t ~src ~dst ~byte_width =
+  let c = Gpusim.Cost.zero () in
+  let insts dist =
+    let regs = 1 lsl Layout.in_bits dist Dims.register in
+    max 1 (regs / (1 lsl t.vec_bits))
+  in
+  let warps l = 1 lsl Layout.in_bits l Dims.warp in
+  let store_insts = insts src * warps src and load_insts = insts dst * warps dst in
+  c.Gpusim.Cost.smem_insts <- store_insts + load_insts;
+  c.Gpusim.Cost.smem_wavefronts <-
+    (store_insts * t.store_wavefronts) + (load_insts * t.load_wavefronts);
+  c.Gpusim.Cost.barriers <- 1;
+  c.Gpusim.Cost.alu <- 2 * (store_insts + load_insts);
+  ignore (machine, byte_width);
+  c

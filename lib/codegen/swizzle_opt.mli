@@ -1,0 +1,58 @@
+(** Optimal shared-memory swizzling (Section 5.4, "Optimal Swizzling",
+    and Appendix 9.2).
+
+    Given a source distributed layout [A] (which stores to shared
+    memory) and a destination layout [B] (which loads from it), computes
+    a memory layout [M : Vec x Bank x Seg -> tensor] that maximizes
+    read/write vectorization and provably minimizes bank conflicts
+    (Lemmas 9.4–9.6). *)
+
+open Linear_layout
+
+type t = {
+  mem : Layout.t;  (** invertible offset -> tensor layout *)
+  vec : int list;  (** the vectorization basis [V] *)
+  seg : int list;  (** the segment basis [S_Idx] *)
+  bank : int list;  (** the bank basis [S_Bank] *)
+  vec_bits : int;  (** [log2] elements per vectorized access *)
+  store_wavefronts : int;  (** predicted wavefronts per store instruction *)
+  load_wavefronts : int;  (** predicted per load instruction *)
+}
+
+(** [optimal machine ~src ~dst ~byte_width] runs the algorithm of
+    Section 5.4. The layouts must be surjective onto the same logical
+    space. *)
+val optimal : Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> t
+
+(** [predict_wavefronts machine ~vec ~seg ~dist ~byte_width] is the
+    algebraic wavefront count of Lemma 9.4 for one warp-wide access of
+    the distributed layout [dist] against a memory layout with
+    vectorization basis [vec] and segment basis [seg]:
+    [n * 2^dim(span(vec u seg) n span(bank-reduced thread columns))]. *)
+val predict_wavefronts :
+  Gpusim.Machine.t -> vec:int list -> seg:int list -> dist:Layout.t -> byte_width:int -> int
+
+(** [simulate_wavefronts machine ~mem ~dist ~byte_width ~vec] is the
+    brute-force ground truth: one instruction covers the same register
+    slots in every lane (the registers whose columns lie in the
+    vectorization basis [vec] form the payload), and each instruction
+    is fed to the bank simulator.  Returns the total wavefronts across
+    all instructions of one warp together with the instruction count. *)
+val simulate_wavefronts :
+  Gpusim.Machine.t ->
+  mem:Layout.t ->
+  dist:Layout.t ->
+  byte_width:int ->
+  vec:int list ->
+  int * int
+
+(** Round-trip a distributed tensor through shared memory laid out by
+    [mem] (store from [src], barrier, load into [dst]); returns the
+    re-distributed data for correctness checks. *)
+val execute :
+  mem:Layout.t -> dst:Layout.t -> Gpusim.Dist.t -> Gpusim.Dist.t
+
+(** Cost of a full conversion through shared memory with this plan:
+    per-warp stores + barrier + loads, each instruction costing its
+    wavefronts. *)
+val cost : Gpusim.Machine.t -> t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Gpusim.Cost.t

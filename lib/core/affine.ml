@@ -1,0 +1,73 @@
+type t = { linear : Layout.t; offset : (string * int) list }
+
+let normalize_offset l offset =
+  List.iter
+    (fun (d, v) ->
+      if not (Layout.has_out_dim l d) then
+        raise (Layout.Error (Printf.sprintf "Affine: offset names unknown dimension %s" d));
+      if v lsr Layout.out_bits l d <> 0 then
+        raise (Layout.Error (Printf.sprintf "Affine: offset out of range for %s" d)))
+    offset;
+  List.map
+    (fun (d, _) -> (d, try List.assoc d offset with Not_found -> 0))
+    (Layout.out_dims l)
+
+let make l ~offset = { linear = l; offset = normalize_offset l offset }
+let of_linear l = make l ~offset:[]
+
+let xor_assoc a b =
+  List.map (fun (d, v) -> (d, v lxor (try List.assoc d b with Not_found -> 0))) a
+
+let apply t point = xor_assoc (Layout.apply t.linear point) t.offset
+
+let compose a2 a1 =
+  let linear = Layout.compose a2.linear a1.linear in
+  let moved = Layout.apply a2.linear a1.offset in
+  { linear; offset = normalize_offset linear (xor_assoc moved a2.offset) }
+
+let invert t =
+  let li = Layout.invert t.linear in
+  { linear = li; offset = normalize_offset li (Layout.apply li t.offset) }
+
+let flip l ~dim =
+  let d = Dims.dim dim in
+  make l ~offset:[ (d, Layout.out_size l d - 1) ]
+
+let slice l ~dim ~start ~size =
+  if not (Util.is_pow2 size) then invalid_arg "Affine.slice: size must be a power of two";
+  if start mod size <> 0 then invalid_arg "Affine.slice: start must be aligned to size";
+  let d = Dims.dim dim in
+  if start + size > Layout.out_size l d then invalid_arg "Affine.slice: window out of range";
+  (* Drop the hardware basis vectors that select which window of [dim]
+     an element falls in; the remaining map covers one window, and the
+     XOR offset re-bases it at [start]. *)
+  let selects_window in_dim k =
+    match List.assoc_opt d (Layout.basis l in_dim k) with
+    | Some c -> c >= size
+    | None -> false
+  in
+  let ins =
+    Layout.in_dims l
+    |> List.map (fun (in_dim, bits) ->
+           let keep =
+             List.filter (fun k -> not (selects_window in_dim k)) (List.init bits Fun.id)
+           in
+           (in_dim, keep))
+  in
+  let reduced =
+    Layout.make
+      ~ins:(List.map (fun (d', keep) -> (d', List.length keep)) ins)
+      ~outs:(Layout.out_dims l)
+      ~bases:(List.map (fun (d', keep) -> (d', List.map (Layout.basis l d') keep)) ins)
+  in
+  make reduced ~offset:[ (d, start) ]
+
+let is_linear t = List.for_all (fun (_, v) -> v = 0) t.offset
+
+let equal a b =
+  Layout.equal a.linear b.linear
+  && List.sort compare a.offset = List.sort compare b.offset
+
+let pp ppf t =
+  Format.fprintf ppf "%a@,offset: (%s)" Layout.pp t.linear
+    (String.concat ", " (List.map (fun (d, v) -> Printf.sprintf "%s:%d" d v) t.offset))

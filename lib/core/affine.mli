@@ -1,0 +1,43 @@
+(** Affine layouts: the Section 8 extension [y = A x (+) b].
+
+    Operations like flipping a dimension or taking an aligned slice are
+    not linear (they do not fix 0) but become expressible with a
+    constant XOR offset [b] on the output.  Because the offset is just
+    a translation, all the structural machinery of linear layouts
+    (conversion planning, swizzling) applies to the linear part [a],
+    with [b] folded into address computation. *)
+
+type t = {
+  linear : Layout.t;
+  offset : (string * int) list;  (** XOR-ed onto the output, per dimension *)
+}
+
+(** A linear layout viewed as affine with zero offset. *)
+val of_linear : Layout.t -> t
+
+(** [make l ~offset] — offsets for absent dimensions are rejected. *)
+val make : Layout.t -> offset:(string * int) list -> t
+
+val apply : t -> (string * int) list -> (string * int) list
+
+(** Composition: [(A2, b2) o (A1, b1) = (A2 A1, A2 b1 (+) b2)]. *)
+val compose : t -> t -> t
+
+(** Inverse of a bijective affine layout:
+    [x = A^-1 y (+) A^-1 b]. *)
+val invert : t -> t
+
+(** [flip l ~dim] reverses logical dimension [dim]:
+    [i -> (n-1) - i], which over a power-of-two range is the affine map
+    [i -> i (+) (n-1)]. *)
+val flip : Layout.t -> dim:int -> t
+
+(** [slice l ~dim ~start ~size] re-bases an aligned power-of-two window
+    [start, start+size) of dimension [dim] at zero ([start] must be a
+    multiple of [size]): the resulting affine layout maps the original
+    hardware indices onto window coordinates. *)
+val slice : Layout.t -> dim:int -> start:int -> size:int -> t
+
+val is_linear : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+type params = {
+  shape : int array;
+  size_per_thread : int array;
+  threads_per_warp : int array;
+  warps_per_cta : int array;
+  order : int array;
+}
+
+let row_major_order n = Array.init n (fun i -> n - 1 - i)
+
+let check p =
+  let n = Array.length p.shape in
+  if
+    Array.length p.size_per_thread <> n
+    || Array.length p.threads_per_warp <> n
+    || Array.length p.warps_per_cta <> n
+    || Array.length p.order <> n
+  then invalid_arg "Blocked.make: rank mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n || seen.(d) then invalid_arg "Blocked.make: invalid order";
+      seen.(d) <- true)
+    p.order
+
+let bits = Array.map Util.log2
+
+let make p =
+  check p;
+  Build.cover ~base:Layout.empty
+    ~levels:
+      [
+        (Dims.register, bits p.size_per_thread);
+        (Dims.lane, bits p.threads_per_warp);
+        (Dims.warp, bits p.warps_per_cta);
+      ]
+    ~shape_bits:(bits p.shape) ~order:p.order
+
+(* Greedy split of [budget_bits] across dimensions following [order],
+   clipped per dimension to the bits still available. *)
+let greedy ~order ~avail budget_bits =
+  let n = Array.length avail in
+  let out = Array.make n 0 in
+  let rem = ref budget_bits in
+  Array.iter
+    (fun d ->
+      let take = min !rem avail.(d) in
+      out.(d) <- take;
+      avail.(d) <- avail.(d) - take;
+      rem := !rem - take)
+    order;
+  out
+
+let default ?order ?(elems_per_thread = 1) ~warp_size ~num_warps shape =
+  let n = Array.length shape in
+  let order = match order with Some o -> o | None -> row_major_order n in
+  let shape_bits = bits shape in
+  let avail = Array.copy shape_bits in
+  (* Per-thread elements fill dimensions greedily along [order], so a
+     tensor narrower than the requested run still gets a contiguous 2-D
+     sub-tile per thread (the cross-dimension contiguity of
+     Section 5.1). *)
+  let reg = greedy ~order ~avail (Util.log2 elems_per_thread) in
+  let lanes = greedy ~order ~avail (Util.log2 warp_size) in
+  let warps = greedy ~order ~avail (Util.log2 num_warps) in
+  let to_sizes = Array.map (fun b -> 1 lsl b) in
+  let base =
+    make
+      {
+        shape;
+        size_per_thread = to_sizes reg;
+        threads_per_warp = to_sizes lanes;
+        warps_per_cta = to_sizes warps;
+        order;
+      }
+  in
+  (* When the tensor is too small to occupy every lane or warp, pad the
+     hardware dimension to its nominal size with broadcast (zero)
+     columns so all execution units stay accounted for. *)
+  let ensure layout dim want = Layout.resize_in layout dim (max want (Layout.in_bits layout dim)) in
+  let base = ensure base Dims.lane (Util.log2 warp_size) in
+  ensure base Dims.warp (Util.log2 num_warps)

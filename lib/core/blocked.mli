@@ -1,0 +1,26 @@
+(** Blocked layouts (Proposition 4.6 / 9.1): the workhorse distributed
+    layout for coalesced global-memory access.  A blocked layout tiles
+    the tensor with a [size_per_thread x threads_per_warp x warps_per_cta]
+    brick, fastest dimension first according to [order], replicating
+    registers when the brick is smaller than the tensor and broadcasting
+    when it is larger. *)
+
+type params = {
+  shape : int array;  (** tensor size per logical dim, powers of two *)
+  size_per_thread : int array;
+  threads_per_warp : int array;
+  warps_per_cta : int array;
+  order : int array;  (** [order.(0)] is the index of the fastest dim *)
+}
+
+(** Row-major order [|n-1; ...; 1; 0|]. *)
+val row_major_order : int -> int array
+
+val make : params -> Layout.t
+
+(** [default ?order ?elems_per_thread ~warp_size ~num_warps shape] mimics
+    Triton's default blocked encoding: [elems_per_thread] contiguous
+    elements along the fastest dimension per thread, lanes and warps
+    greedily packed along [order]. *)
+val default :
+  ?order:int array -> ?elems_per_thread:int -> warp_size:int -> num_warps:int -> int array -> Layout.t

@@ -1,0 +1,25 @@
+let id bits ~in_dim d = Layout.identity1d bits ~in_dim ~out_dim:(Dims.dim d)
+
+let alloc acc ~hw ~d ~bits ~shape_bits =
+  (* Extend [acc] with [bits] basis vectors of [hw] onto dimension [d],
+     clipped to the dimension's remaining size; the excess broadcasts. *)
+  let used = Layout.out_bits acc (Dims.dim d) in
+  let take = min bits (max 0 (shape_bits.(d) - used)) in
+  let acc = if take > 0 then Layout.mul acc (id take ~in_dim:hw d) else acc in
+  if bits > take then
+    Layout.mul acc (Layout.zeros1d (bits - take) ~in_dim:hw ~out_dim:(Dims.dim d))
+  else acc
+
+let cover ~base ~levels ~shape_bits ~order =
+  let acc =
+    List.fold_left
+      (fun acc (hw, per_dim) ->
+        Array.fold_left (fun acc d -> alloc acc ~hw ~d ~bits:per_dim.(d) ~shape_bits) acc order)
+      base levels
+  in
+  (* Wrap any remaining logical bits into extra registers. *)
+  Array.fold_left
+    (fun acc d ->
+      let rem = shape_bits.(d) - Layout.out_bits acc (Dims.dim d) in
+      if rem > 0 then Layout.mul acc (id rem ~in_dim:Dims.register d) else acc)
+    acc order

@@ -1,0 +1,8 @@
+let distribute layout ~blocks ~shape =
+  let shape_bits = Array.map Util.log2 shape in
+  let order = Blocked.row_major_order (Array.length shape) in
+  Build.cover ~base:layout
+    ~levels:[ (Dims.block, Array.map Util.log2 blocks) ]
+    ~shape_bits ~order
+
+let num_blocks l = Layout.in_size l Dims.block

@@ -1,0 +1,10 @@
+(** Multi-CTA (cooperative grid array) distribution: extend a per-CTA
+    layout over a larger tensor with {!Dims.block} basis vectors, the
+    way Hopper CGAs tile CTAs over a tensor. *)
+
+(** [distribute layout ~blocks ~shape] covers [shape] by tiling
+    [layout]'s footprint across [blocks] CTAs per dimension (any still
+    uncovered part replicates into registers). *)
+val distribute : Layout.t -> blocks:int array -> shape:int array -> Layout.t
+
+val num_blocks : Layout.t -> int

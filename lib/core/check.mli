@@ -1,0 +1,27 @@
+(** Layout validation with human-readable diagnostics.
+
+    [Layout.is_distributed] and friends answer yes/no; this module
+    explains {e why} a layout fails a family's characterization —
+    the kind of error message a compiler built on linear layouts owes
+    its users (Section 3's robustness claim). *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; message : string }
+
+(** Check the distributed-layout characterization (Definition 4.10):
+    surjective, every column at most one set bit, no repeated non-zero
+    columns.  Warnings flag zero (broadcast) columns, which are legal
+    but often unintended. *)
+val distributed : Layout.t -> issue list
+
+(** Check the memory-layout characterization (Definition 4.14):
+    invertible, columns with 1 or 2 set bits. *)
+val memory : Layout.t -> issue list
+
+(** Check that two distributed layouts can be converted into each other
+    within a CTA: same logical space, same lane/warp footprint. *)
+val convertible : src:Layout.t -> dst:Layout.t -> issue list
+
+val errors : issue list -> issue list
+val pp : Format.formatter -> issue list -> unit

@@ -1,0 +1,38 @@
+let register = "register"
+let lane = "lane"
+let warp = "warp"
+let block = "block"
+let offset = "offset"
+let vec = "vec"
+let bank = "bank"
+let seg = "seg"
+let flat = "flat"
+let dim k = "dim" ^ string_of_int k
+
+let dim_index name =
+  if String.length name > 3 && String.sub name 0 3 = "dim" then
+    int_of_string_opt (String.sub name 3 (String.length name - 3))
+  else None
+
+(* Sort keys: (group, numeric subkey, name). Hardware dims come first in a
+   fixed order; logical dims follow with higher indices first so that the
+   fastest-moving (last) logical dimension lands in the low bits of the
+   flattened vector; unknown labels sort alphabetically at the end. *)
+let key name =
+  match name with
+  | "register" -> (0, 0, name)
+  | "lane" -> (1, 0, name)
+  | "warp" -> (2, 0, name)
+  | "block" -> (3, 0, name)
+  | "offset" -> (4, 0, name)
+  | "vec" -> (5, 0, name)
+  | "bank" -> (6, 0, name)
+  | "seg" -> (7, 0, name)
+  | "flat" -> (8, 0, name)
+  | _ -> (
+      match dim_index name with
+      | Some k -> (9, -k, name)
+      | None -> (10, 0, name))
+
+let compare a b = Stdlib.compare (key a) (key b)
+let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l

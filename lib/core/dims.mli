@@ -1,0 +1,46 @@
+(** Canonical dimension labels for the labeled vector spaces of linear
+    layouts (Section 4.1 of the paper).
+
+    Hardware (input) dimensions describe where an element lives:
+    {!register} within a thread, {!lane} within a warp, {!warp} within a
+    CTA, {!block} across CTAs, and {!offset} for memory layouts.  The
+    shared-memory model of Section 5.4 additionally splits offsets into
+    {!vec}, {!bank} and {!seg} spaces.
+
+    Logical (output) dimensions [dim0, dim1, ...] index the logical
+    tensor.
+
+    Every dimension list inside a layout is kept in the canonical order
+    defined by {!compare}; the first dimension in canonical order
+    occupies the least-significant bits of the flattened bit-vector.
+    For logical dimensions the canonical order puts {e higher} indices
+    first, so a row-major 2-D tensor flattens with [dim1] (the fastest
+    moving dimension) in the low bits — exactly the convention of the
+    matrix [A] in Section 4.1. *)
+
+val register : string
+val lane : string
+val warp : string
+val block : string
+val offset : string
+val vec : string
+val bank : string
+val seg : string
+
+(** The label used by [Layout.flatten_outs]/[flatten_ins]. *)
+val flat : string
+
+(** [dim k] is the label of logical tensor dimension [k], e.g. ["dim0"]. *)
+val dim : int -> string
+
+(** [dim_index "dim3"] is [Some 3]; [None] for non-logical labels. *)
+val dim_index : string -> int option
+
+(** Total order used to canonicalize dimension lists: hardware dims in
+    the order register, lane, warp, block, offset, vec, bank, seg; then
+    logical dims with higher index first; then anything else
+    alphabetically. *)
+val compare : string -> string -> int
+
+(** Sorts labels canonically. *)
+val sort : (string * 'a) list -> (string * 'a) list

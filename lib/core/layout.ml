@@ -1,0 +1,505 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Invariants:
+   - [ins] and [outs] are sorted by [Dims.compare] and duplicate-free;
+   - [bases.(i)] has [snd ins.(i)] entries, each an array indexed like
+     [outs], with entry [o] < [2 ^ snd outs.(o)];
+   - the first dimension in canonical order occupies the low bits of
+     flattened values. *)
+type t = {
+  ins : (string * int) array;
+  outs : (string * int) array;
+  bases : int array array array;
+}
+
+(* {1 Internal helpers} *)
+
+let check_dims what dims =
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then error "duplicate %s dimension %s" what a;
+        go rest
+  in
+  List.iter (fun (d, bits) -> if bits < 0 then error "%s dim %s has negative bits" what d) dims;
+  go (Dims.sort dims)
+
+let find_dim dims d =
+  let n = Array.length dims in
+  let rec go i = if i >= n then None else if fst dims.(i) = d then Some i else go (i + 1) in
+  go 0
+
+let dim_bits dims d = match find_dim dims d with Some i -> snd dims.(i) | None -> 0
+
+let offset_of dims i =
+  let acc = ref 0 in
+  for j = 0 to i - 1 do
+    acc := !acc + snd dims.(j)
+  done;
+  !acc
+
+let total_bits dims = Array.fold_left (fun acc (_, b) -> acc + b) 0 dims
+
+let flatten dims coords =
+  (* [coords] indexed like [dims]. *)
+  let acc = ref 0 and pos = ref 0 in
+  Array.iteri
+    (fun o (_, bits) ->
+      acc := !acc lor (coords.(o) lsl !pos);
+      pos := !pos + bits)
+    dims;
+  !acc
+
+let unflatten dims v =
+  let pos = ref 0 in
+  Array.map
+    (fun (_, bits) ->
+      let c = F2.Bitvec.extract v ~pos:!pos ~len:bits in
+      pos := !pos + bits;
+      c)
+    dims
+
+let assoc_to_coords what dims assoc =
+  let coords = Array.make (Array.length dims) 0 in
+  List.iter
+    (fun (d, v) ->
+      match find_dim dims d with
+      | Some o ->
+          if v lsr snd dims.(o) <> 0 then
+            error "%s: coordinate %d out of range for %s (%d bits)" what v d (snd dims.(o));
+          coords.(o) <- coords.(o) lxor v
+      | None -> if v <> 0 then error "%s: unknown dimension %s" what d)
+    assoc;
+  coords
+
+let coords_to_assoc dims coords =
+  Array.to_list dims |> List.mapi (fun o (d, _) -> (d, coords.(o)))
+
+(* {1 Observation} *)
+
+let in_dims l = Array.to_list l.ins
+let out_dims l = Array.to_list l.outs
+let has_in_dim l d = find_dim l.ins d <> None
+let has_out_dim l d = find_dim l.outs d <> None
+let in_bits l d = dim_bits l.ins d
+let out_bits l d = dim_bits l.outs d
+let total_in_bits l = total_bits l.ins
+let total_out_bits l = total_bits l.outs
+let in_size l d = 1 lsl in_bits l d
+let out_size l d = 1 lsl out_bits l d
+
+let basis_coords l d k =
+  match find_dim l.ins d with
+  | None -> error "basis: no input dimension %s" d
+  | Some i ->
+      if k < 0 || k >= snd l.ins.(i) then error "basis: index %d out of range for %s" k d;
+      l.bases.(i).(k)
+
+let basis l d k =
+  coords_to_assoc l.outs (basis_coords l d k) |> List.filter (fun (_, c) -> c <> 0)
+
+let basis_flat l d k = flatten l.outs (basis_coords l d k)
+
+let flat_columns l d =
+  match find_dim l.ins d with
+  | None -> []
+  | Some i -> Array.to_list l.bases.(i) |> List.map (flatten l.outs)
+
+let apply l point =
+  let out = Array.make (Array.length l.outs) 0 in
+  List.iter
+    (fun (d, v) ->
+      match find_dim l.ins d with
+      | Some i ->
+          if v lsr snd l.ins.(i) <> 0 then
+            error "apply: index %d out of range for %s (%d bits)" v d (snd l.ins.(i));
+          for k = 0 to snd l.ins.(i) - 1 do
+            if F2.Bitvec.bit v k then
+              Array.iteri (fun o c -> out.(o) <- out.(o) lxor c) l.bases.(i).(k)
+          done
+      | None -> if v <> 0 then error "apply: unknown input dimension %s" d)
+    point;
+  coords_to_assoc l.outs out
+
+let to_matrix l =
+  let cols = ref [] in
+  Array.iteri
+    (fun i (_, bits) ->
+      for k = 0 to bits - 1 do
+        cols := flatten l.outs l.bases.(i).(k) :: !cols
+      done;
+      ignore i)
+    l.ins;
+  F2.Bitmatrix.make ~rows:(total_bits l.outs) (Array.of_list (List.rev !cols))
+
+let apply_flat l v = F2.Bitmatrix.apply (to_matrix l) v
+
+let flatten_value dims point =
+  check_dims "flatten_value" dims;
+  let dims = Array.of_list (Dims.sort dims) in
+  flatten dims (assoc_to_coords "flatten_value" dims point)
+
+let unflatten_value dims v =
+  check_dims "unflatten_value" dims;
+  let dims = Array.of_list (Dims.sort dims) in
+  coords_to_assoc dims (unflatten dims v)
+
+(* {1 Construction} *)
+
+let empty = { ins = [||]; outs = [||]; bases = [||] }
+
+let make ~ins ~outs ~bases =
+  check_dims "input" ins;
+  check_dims "output" outs;
+  let ins = Array.of_list (Dims.sort ins) and outs = Array.of_list (Dims.sort outs) in
+  let base_table =
+    Array.map
+      (fun (d, bits) ->
+        let images = try List.assoc d bases with Not_found -> [] in
+        if List.length images <> bits then
+          error "make: dimension %s needs %d basis images, got %d" d bits (List.length images);
+        Array.of_list (List.map (assoc_to_coords "make" outs) images))
+      ins
+  in
+  List.iter
+    (fun (d, _) ->
+      if find_dim ins d = None then error "make: bases given for unknown input dimension %s" d)
+    bases;
+  { ins; outs; bases = base_table }
+
+let identity1d bits ~in_dim ~out_dim =
+  make ~ins:[ (in_dim, bits) ] ~outs:[ (out_dim, bits) ]
+    ~bases:[ (in_dim, List.init bits (fun k -> [ (out_dim, 1 lsl k) ])) ]
+
+let zeros1d bits ~in_dim ~out_dim =
+  make ~ins:[ (in_dim, bits) ] ~outs:[ (out_dim, 0) ]
+    ~bases:[ (in_dim, List.init bits (fun _ -> [])) ]
+
+let of_matrix ~ins ~outs m =
+  check_dims "input" ins;
+  check_dims "output" outs;
+  let ins = Array.of_list (Dims.sort ins) and outs = Array.of_list (Dims.sort outs) in
+  if F2.Bitmatrix.cols m <> total_bits ins then error "of_matrix: column count mismatch";
+  if F2.Bitmatrix.rows m <> total_bits outs then error "of_matrix: row count mismatch";
+  let bases =
+    Array.mapi
+      (fun i (_, bits) ->
+        let off = offset_of ins i in
+        Array.init bits (fun k -> unflatten outs (F2.Bitmatrix.column m (off + k))))
+      ins
+  in
+  { ins; outs; bases }
+
+(* {1 Algebra} *)
+
+let merge_dims a b =
+  (* Union of dimension lists with bits added on shared names. *)
+  let tbl = Hashtbl.create 8 in
+  Array.iter (fun (d, bits) -> Hashtbl.replace tbl d bits) a;
+  Array.iter
+    (fun (d, bits) ->
+      match Hashtbl.find_opt tbl d with
+      | Some prev -> Hashtbl.replace tbl d (prev + bits)
+      | None -> Hashtbl.replace tbl d bits)
+    b;
+  Hashtbl.fold (fun d bits acc -> (d, bits) :: acc) tbl [] |> Dims.sort |> Array.of_list
+
+let mul a b =
+  let ins = merge_dims a.ins b.ins and outs = merge_dims a.outs b.outs in
+  (* Shift of b's coordinates within each shared output dimension. *)
+  let shift_of d = dim_bits a.outs d in
+  let lift_image src_outs ~shift coords =
+    let out = Array.make (Array.length outs) 0 in
+    Array.iteri
+      (fun o (d, _) ->
+        match find_dim src_outs d with
+        | Some so -> out.(o) <- coords.(so) lsl (if shift then shift_of d else 0)
+        | None -> ())
+      outs;
+    out
+  in
+  let bases =
+    Array.map
+      (fun (d, _) ->
+        let from_a =
+          match find_dim a.ins d with
+          | Some i -> Array.map (lift_image a.outs ~shift:false) a.bases.(i)
+          | None -> [||]
+        in
+        let from_b =
+          match find_dim b.ins d with
+          | Some i -> Array.map (lift_image b.outs ~shift:true) b.bases.(i)
+          | None -> [||]
+        in
+        Array.append from_a from_b)
+      ins
+  in
+  { ins; outs; bases }
+
+let compose l2 l1 =
+  Array.iter
+    (fun (d, bits) ->
+      if dim_bits l2.ins d < bits then
+        error "compose: output dimension %s of the inner layout (%d bits) exceeds the \
+               corresponding input of the outer layout (%d bits)"
+          d bits (dim_bits l2.ins d))
+    l1.outs;
+  let image coords =
+    let point = coords_to_assoc l1.outs coords in
+    assoc_to_coords "compose" l2.outs (apply l2 point)
+  in
+  { ins = l1.ins; outs = l2.outs; bases = Array.map (Array.map image) l1.bases }
+
+let is_surjective l = F2.Bitmatrix.is_surjective (to_matrix l)
+let is_injective l = F2.Bitmatrix.is_injective (to_matrix l)
+let is_invertible l = F2.Bitmatrix.is_invertible (to_matrix l)
+
+let invert l =
+  if not (is_invertible l) then error "invert: layout is not invertible";
+  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.inverse (to_matrix l))
+
+let pseudo_invert l =
+  if not (is_surjective l) then error "pseudo_invert: layout is not surjective";
+  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.right_inverse (to_matrix l))
+
+let divide_left l t =
+  let exception No in
+  try
+    Array.iter
+      (fun (d, bits) -> if in_bits l d < bits then raise No)
+      t.ins;
+    Array.iter
+      (fun (d, bits) -> if out_bits l d < bits then raise No)
+      t.outs;
+    (* Check the block structure label-wise. *)
+    let tile_out_bits d = dim_bits t.outs d in
+    let check_column in_dim k =
+      (* The basis [k] of [in_dim] in [l], compared against the tile. *)
+      let coords = basis_coords l in_dim k in
+      let within_tile = k < dim_bits t.ins in_dim in
+      Array.iteri
+        (fun o (d, _) ->
+          let c = coords.(o) in
+          let tb = tile_out_bits d in
+          if within_tile then begin
+            let expected =
+              match find_dim t.ins in_dim with
+              | Some i -> (
+                  match find_dim t.outs d with Some o' -> t.bases.(i).(k).(o') | None -> 0)
+              | None -> 0
+            in
+            if c <> expected then raise No
+          end
+          else if c land ((1 lsl tb) - 1) <> 0 then raise No)
+        l.outs
+    in
+    Array.iter (fun (d, bits) -> for k = 0 to bits - 1 do check_column d k done) l.ins;
+    (* Quotient: strip the tile's bits from inputs and outputs. *)
+    let q_ins =
+      Array.to_list l.ins
+      |> List.map (fun (d, bits) -> (d, bits - dim_bits t.ins d))
+      |> List.filter (fun (_, bits) -> bits > 0)
+    in
+    let q_outs = Array.to_list l.outs |> List.map (fun (d, bits) -> (d, bits - tile_out_bits d)) in
+    let q_bases =
+      Array.to_list l.ins
+      |> List.filter_map (fun (d, bits) ->
+             let skip = dim_bits t.ins d in
+             if bits - skip <= 0 then None
+             else
+               Some
+                 ( d,
+                   List.init (bits - skip) (fun k ->
+                       let coords = basis_coords l d (skip + k) in
+                       Array.to_list l.outs
+                       |> List.map (fun (od, _) ->
+                              let o = Option.get (find_dim l.outs od) in
+                              (od, coords.(o) lsr tile_out_bits od))) ))
+    in
+    Some (make ~ins:q_ins ~outs:q_outs ~bases:q_bases)
+  with No -> None
+
+(* {1 Dimension surgery} *)
+
+let select_ins l keep =
+  let keep_idx =
+    Array.to_list l.ins
+    |> List.mapi (fun i (d, _) -> (i, d))
+    |> List.filter (fun (_, d) -> List.mem d keep)
+  in
+  {
+    l with
+    ins = Array.of_list (List.map (fun (i, _) -> l.ins.(i)) keep_idx);
+    bases = Array.of_list (List.map (fun (i, _) -> l.bases.(i)) keep_idx);
+  }
+
+let remove_in_dim l d =
+  select_ins l (List.filter (fun x -> x <> d) (List.map fst (in_dims l)))
+
+let project_outs l keep =
+  let keep_idx =
+    Array.to_list l.outs
+    |> List.mapi (fun o (d, _) -> (o, d))
+    |> List.filter (fun (_, d) -> List.mem d keep)
+  in
+  let outs = Array.of_list (List.map (fun (o, _) -> l.outs.(o)) keep_idx) in
+  let project coords = Array.of_list (List.map (fun (o, _) -> coords.(o)) keep_idx) in
+  { l with outs; bases = Array.map (Array.map project) l.bases }
+
+let remove_out_dim l d =
+  project_outs l (List.filter (fun x -> x <> d) (List.map fst (out_dims l)))
+
+let rename_dims dims ~old_name ~new_name =
+  Array.to_list dims
+  |> List.map (fun (d, bits) -> ((if d = old_name then new_name else d), bits))
+
+let rename_out l ~old_name ~new_name =
+  if not (has_out_dim l old_name) then error "rename_out: no dimension %s" old_name;
+  if has_out_dim l new_name then error "rename_out: dimension %s already exists" new_name;
+  let outs = rename_dims l.outs ~old_name ~new_name in
+  let bases =
+    Array.to_list l.ins
+    |> List.mapi (fun i (d, _) ->
+           (d, Array.to_list l.bases.(i) |> List.map (fun coords ->
+                    List.combine (List.map fst outs)
+                      (Array.to_list coords))))
+  in
+  make ~ins:(in_dims l) ~outs ~bases
+
+let rename_in l ~old_name ~new_name =
+  if not (has_in_dim l old_name) then error "rename_in: no dimension %s" old_name;
+  if has_in_dim l new_name then error "rename_in: dimension %s already exists" new_name;
+  let ins = rename_dims l.ins ~old_name ~new_name in
+  let bases =
+    ins
+    |> List.mapi (fun i (d, _) ->
+           (d, Array.to_list l.bases.(i) |> List.map (fun coords ->
+                    coords_to_assoc l.outs coords)))
+  in
+  make ~ins ~outs:(out_dims l) ~bases
+
+let exchange_out_names l spec =
+  let target d = match List.assoc_opt d spec with Some d' -> d' | None -> d in
+  let outs = Array.to_list l.outs |> List.map (fun (d, bits) -> (target d, bits)) in
+  let bases =
+    Array.to_list l.ins
+    |> List.mapi (fun i (d, _) ->
+           ( d,
+             Array.to_list l.bases.(i)
+             |> List.map (fun coords ->
+                    Array.to_list l.outs
+                    |> List.mapi (fun o (od, _) -> (target od, coords.(o)))) ))
+  in
+  make ~ins:(in_dims l) ~outs ~bases
+
+let flatten_outs ?(name = Dims.flat) l =
+  let outs = [| (name, total_bits l.outs) |] in
+  { l with outs; bases = Array.map (Array.map (fun c -> [| flatten l.outs c |])) l.bases }
+
+let flatten_ins ?(name = Dims.flat) l =
+  let bases = Array.concat (Array.to_list l.bases) in
+  { l with ins = [| (name, total_bits l.ins) |]; bases = [| bases |] }
+
+let reshape_outs l outs =
+  check_dims "reshape_outs" outs;
+  if total_bits (Array.of_list outs) <> total_bits l.outs then
+    error "reshape_outs: total bits mismatch";
+  of_matrix ~ins:(in_dims l) ~outs (to_matrix l)
+
+let reshape_ins l ins =
+  check_dims "reshape_ins" ins;
+  if total_bits (Array.of_list ins) <> total_bits l.ins then error "reshape_ins: total bits mismatch";
+  of_matrix ~ins ~outs:(out_dims l) (to_matrix l)
+
+let resize_in l d bits =
+  match find_dim l.ins d with
+  | None ->
+      if bits = 0 then l
+      else
+        let zero = make ~ins:[ (d, bits) ] ~outs:[] ~bases:[ (d, List.init bits (fun _ -> [])) ] in
+        mul l zero
+  | Some i ->
+      let cur = snd l.ins.(i) in
+      let ins = Array.copy l.ins and bases = Array.copy l.bases in
+      ins.(i) <- (d, bits);
+      bases.(i) <-
+        (if bits <= cur then Array.sub l.bases.(i) 0 bits
+         else
+           Array.append l.bases.(i)
+             (Array.init (bits - cur) (fun _ -> Array.make (Array.length l.outs) 0)));
+      { l with ins; bases }
+
+let drop_trivial_dims l =
+  let l =
+    select_ins l
+      (Array.to_list l.ins |> List.filter (fun (_, b) -> b > 0) |> List.map fst)
+  in
+  project_outs l
+    (Array.to_list l.outs |> List.filter (fun (_, b) -> b > 0) |> List.map fst)
+
+(* {1 Predicates and analyses} *)
+
+let equal a b = a.ins = b.ins && a.outs = b.outs && a.bases = b.bases
+let equivalent a b = equal (drop_trivial_dims a) (drop_trivial_dims b)
+let is_distributed l = is_surjective l && F2.Bitmatrix.is_permutation (to_matrix l)
+
+let is_memory l =
+  is_invertible l
+  && Array.for_all
+       (fun c -> c <> 0 && F2.Bitvec.popcount c <= 2)
+       (F2.Bitmatrix.columns (to_matrix l))
+
+let is_trivial_on l dims =
+  List.for_all (fun d -> List.for_all (fun c -> c = 0) (flat_columns l d)) dims
+
+let kernel l = F2.Bitmatrix.kernel (to_matrix l)
+
+let free_variable_masks l =
+  let pivots = ref [] in
+  Array.to_list l.ins
+  |> List.mapi (fun i (d, bits) ->
+         let mask = ref 0 in
+         for k = 0 to bits - 1 do
+           let v = flatten l.outs l.bases.(i).(k) in
+           if F2.Subspace.independent_from !pivots v then pivots := v :: !pivots
+           else mask := !mask lor (1 lsl k)
+         done;
+         (d, !mask))
+
+let num_consecutive l ~in_dim =
+  let rec go k = function
+    | c :: rest when c = 1 lsl k -> go (k + 1) rest
+    | _ -> 1 lsl k
+  in
+  go 0 (flat_columns l in_dim)
+
+(* {1 Printing} *)
+
+let pp ppf l =
+  let pp_image ppf assoc =
+    let assoc = List.sort (fun (a, _) (b, _) -> String.compare a b) assoc in
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (d, c) -> Format.fprintf ppf "%s:%d" d c))
+      assoc
+  in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i (d, bits) ->
+      Format.fprintf ppf "%s[%d] -> [%a]" d (1 lsl bits)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           pp_image)
+        (List.init bits (fun k -> coords_to_assoc l.outs l.bases.(i).(k)));
+      if i < Array.length l.ins - 1 then Format.fprintf ppf "@,")
+    l.ins;
+  Format.fprintf ppf "@,outs: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " x ")
+       (fun ppf (d, bits) -> Format.fprintf ppf "%s[%d]" d (1 lsl bits)))
+    (out_dims l)
+
+let to_string l = Format.asprintf "%a" pp l

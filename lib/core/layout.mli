@@ -1,0 +1,200 @@
+(** Linear layouts: linear maps between labeled vector spaces over [F2]
+    (Definition 4.1 of the paper).
+
+    A layout maps a product of labeled input spaces (e.g.
+    [register x lane x warp]) to a product of labeled output spaces
+    (e.g. the logical tensor dimensions [dim0 x dim1]).  Each space
+    [F2^k] holds indices [0 .. 2^k - 1]; [k] is called the {e bits} of
+    the dimension.
+
+    Dimension lists are canonicalized with {!Dims.compare}; the first
+    dimension in canonical order occupies the least-significant bits of
+    the flattened representation.  Two layouts over the same labeled
+    spaces therefore always flatten compatibly. *)
+
+type t
+
+exception Error of string
+
+(** {1 Construction} *)
+
+(** The empty layout: no input and no output dimensions. *)
+val empty : t
+
+(** [identity1d bits ~in_dim ~out_dim] maps [in_dim] identically onto
+    [out_dim], both of size [2^bits]. *)
+val identity1d : int -> in_dim:string -> out_dim:string -> t
+
+(** [zeros1d bits ~in_dim ~out_dim] maps all [2^bits] points of [in_dim]
+    to index 0 of [out_dim] (which gets size 1, i.e. 0 bits). This is
+    the broadcasting building block of Section 5.1. *)
+val zeros1d : int -> in_dim:string -> out_dim:string -> t
+
+(** [make ~ins ~outs ~bases] builds a layout explicitly. [ins] and
+    [outs] give [(label, bits)] pairs in any order; [bases] gives, for
+    each input label, the images of its basis vectors as
+    [(out_label, coordinate)] associations (absent labels map to 0).
+    Raises {!Error} on inconsistent data. *)
+val make :
+  ins:(string * int) list ->
+  outs:(string * int) list ->
+  bases:(string * (string * int) list list) list ->
+  t
+
+(** [of_matrix ~ins ~outs m] unflattens a bit-matrix whose column [j]
+    (resp. row [i]) corresponds to bit [j] of the canonically flattened
+    input (resp. output). *)
+val of_matrix : ins:(string * int) list -> outs:(string * int) list -> F2.Bitmatrix.t -> t
+
+(** {1 Observation} *)
+
+val in_dims : t -> (string * int) list
+val out_dims : t -> (string * int) list
+val has_in_dim : t -> string -> bool
+val has_out_dim : t -> string -> bool
+
+(** Bits of a dimension; [0] when the dimension is absent. *)
+val in_bits : t -> string -> int
+
+val out_bits : t -> string -> int
+val total_in_bits : t -> int
+val total_out_bits : t -> int
+
+(** Number of points in an input dimension, [2^bits] ([1] if absent). *)
+val in_size : t -> string -> int
+
+val out_size : t -> string -> int
+
+(** [basis l d k] is the image of basis vector [k] of input dimension
+    [d], as [(out_label, coordinate)] pairs (zero coordinates omitted). *)
+val basis : t -> string -> int -> (string * int) list
+
+(** [basis_flat l d k] is the same image, flattened canonically. *)
+val basis_flat : t -> string -> int -> int
+
+(** Flattened images of all basis vectors of an input dimension —
+    the column sets [L_Reg], [L_Thr], ... of Section 5.4. *)
+val flat_columns : t -> string -> int list
+
+(** [apply l point] maps a point given as [(in_label, index)] pairs
+    (absent labels are 0) to [(out_label, index)] pairs. *)
+val apply : t -> (string * int) list -> (string * int) list
+
+(** [apply_flat l v] applies the layout to a canonically flattened input. *)
+val apply_flat : t -> int -> int
+
+(** The matrix of the layout under canonical flattening. *)
+val to_matrix : t -> F2.Bitmatrix.t
+
+(** [flatten_value dims point] packs per-dimension coordinates into the
+    canonical flat representation for the given dimension list, and
+    [unflatten_value dims v] unpacks it. *)
+val flatten_value : (string * int) list -> (string * int) list -> int
+
+val unflatten_value : (string * int) list -> int -> (string * int) list
+
+(** {1 Algebra} *)
+
+(** [mul a b] is the product layout (Definition 4.3): inputs and outputs
+    are unions of the operands'; on dimensions both operands share, [a]
+    occupies the low bits and [b] the high bits. *)
+val mul : t -> t -> t
+
+(** [compose l2 l1] is [l2 o l1] (Definition 4.2): every output
+    dimension of [l1] must be an input dimension of [l2] with at least
+    as many bits. *)
+val compose : t -> t -> t
+
+(** Inverse of a bijective layout. Raises {!Error} if not invertible. *)
+val invert : t -> t
+
+(** Least-squares right inverse of a surjective layout (Definition 4.5):
+    free variables are set to zero, so among all preimages the one with
+    minimal Hamming weight built from pivots is chosen — the broadcast-
+    promoting choice of Section 5.4. Raises {!Error} if not surjective. *)
+val pseudo_invert : t -> t
+
+(** [divide_left l t] is the label-wise left division [l /_l t]
+    (Definition 4.4): [Some q] with [l = t x q] (label-wise block
+    diagonal) when it exists. *)
+val divide_left : t -> t -> t option
+
+(** {1 Dimension surgery} *)
+
+(** Keep only the listed input dimensions. *)
+val select_ins : t -> string list -> t
+
+val remove_in_dim : t -> string -> t
+
+(** Keep only the listed output dimensions, {e projecting away} the
+    rest — the slice of Proposition 4.8. *)
+val project_outs : t -> string list -> t
+
+val remove_out_dim : t -> string -> t
+val rename_in : t -> old_name:string -> new_name:string -> t
+val rename_out : t -> old_name:string -> new_name:string -> t
+
+(** [exchange_out_names l spec] relabels output dimensions simultaneously
+    (e.g. a transpose swaps ["dim0"] and ["dim1"]). *)
+val exchange_out_names : t -> (string * string) list -> t
+
+(** Replace output dimensions by a single dimension (default label
+    {!Dims.flat}) holding the canonical flattening. *)
+val flatten_outs : ?name:string -> t -> t
+
+val flatten_ins : ?name:string -> t -> t
+
+(** [reshape_outs l outs] reinterprets the flattened output bits
+    according to a new dimension list with the same total bits. *)
+val reshape_outs : t -> (string * int) list -> t
+
+val reshape_ins : t -> (string * int) list -> t
+
+(** [resize_in l d bits] grows (with zero columns, i.e. broadcasting) or
+    shrinks (dropping high basis vectors) an input dimension. *)
+val resize_in : t -> string -> int -> t
+
+(** Remove input and output dimensions of size 1 (0 bits). *)
+val drop_trivial_dims : t -> t
+
+(** {1 Predicates and analyses} *)
+
+val equal : t -> t -> bool
+
+(** Equality after {!drop_trivial_dims} on both sides. *)
+val equivalent : t -> t -> bool
+val is_surjective : t -> bool
+val is_injective : t -> bool
+val is_invertible : t -> bool
+
+(** Definition 4.10: surjective, every column has at most one set bit,
+    and no two non-zero columns repeat. *)
+val is_distributed : t -> bool
+
+(** Definition 4.14: invertible with columns of 1 or 2 set bits. *)
+val is_memory : t -> bool
+
+(** [is_trivial_on l dims] holds when each listed input dimension is
+    absent or has only zero columns. *)
+val is_trivial_on : t -> string list -> bool
+
+(** Basis of the kernel, flattened: differences between hardware points
+    holding the same tensor element (broadcasting structure, §5.1). *)
+val kernel : t -> int list
+
+(** Per-input-dimension masks of "free" basis vectors: bits that can be
+    zeroed without losing surjectivity because their columns are
+    dependent on earlier ones.  Threads/registers with a free bit set
+    hold duplicated data (Section 5.1). *)
+val free_variable_masks : t -> (string * int) list
+
+(** [num_consecutive l ~in_dim] is [2^k] for the largest [k] such that
+    the first [k] basis vectors of [in_dim] map identically onto the low
+    bits of the flattened output — the contiguity analysis of
+    Section 5.1 that drives vectorization. *)
+val num_consecutive : t -> in_dim:string -> int
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,66 @@
+(** MMA-family layouts (Proposition 4.7 / 9.2): the register layouts
+    required by matrix-multiplication intrinsics.
+
+    The NVIDIA tiles follow the constructions in the paper's appendix:
+    for an element bitwidth [b], the lhs/output tile is
+    [id_{log2(32/b)}^{Reg,1} x id_2^{Thr,1} x id_3^{Thr,0} x
+     id_1^{Reg,0} x id_1^{Reg,1}]
+    and the rhs tile its transpose with half the registers.  [wgmma]
+    tiles extend the lhs tile across a warp group with
+    [id_2^{Wrp,0}].  AMD [mfma] tiles use 64-lane warps. *)
+
+(** Per-warp output (accumulator) tile for [mma] with the given element
+    bitwidth. *)
+val output_tile : bitwidth:int -> Layout.t
+
+(** Per-warp operand tiles for [mma]; [idx] is 0 for lhs, 1 for rhs. *)
+val operand_tile : idx:int -> bitwidth:int -> Layout.t
+
+(** Per-warp-group output tile for [wgmma]. *)
+val wgmma_output_tile : bitwidth:int -> Layout.t
+
+(** AMD matrix-core accumulator tiles ([mfma]), 64 lanes per warp. *)
+val mfma_output_tile : m:int -> Layout.t
+(** [m] is 16 or 32. *)
+
+(** Intel XMX ([dpas]) accumulator tile: an 8 x 16 tile held by a
+    16-lane subgroup. Defining it is all an out-of-tree backend needs —
+    every generic algorithm (conversion, swizzling, engine) applies
+    unchanged. *)
+val xmx_output_tile : unit -> Layout.t
+
+(** [output ~bitwidth ~warps ~shape] distributes {!output_tile} over a
+    CTA: [warps] gives warps per logical dim; any remaining tensor is
+    covered by register replication. *)
+val output :
+  ?warp_order:int array -> bitwidth:int -> warps:int array -> shape:int array -> unit -> Layout.t
+
+val wgmma_output :
+  ?warp_order:int array -> bitwidth:int -> warp_groups:int array -> shape:int array -> unit -> Layout.t
+
+val mfma_output :
+  ?warp_order:int array -> m:int -> warps:int array -> shape:int array -> unit -> Layout.t
+
+val xmx_output :
+  ?warp_order:int array -> warps:int array -> shape:int array -> unit -> Layout.t
+
+(** [operand ~idx ~bitwidth ~warps ~shape] builds the dot-operand layout
+    matching {!output} with the same [warps]: warp bits along the
+    operand's outer dimension map identically, warp bits along the inner
+    (reduction) dimension broadcast, and the rest of the operand tensor
+    is covered by register replication (appendix, Proposition 9.2).
+    [shape] is the operand's own shape ([M,K] for idx 0, [K,N] for
+    idx 1); [warps] is the output's warp grid over [M,N].  Warp bits
+    along the operand's outer dimension select the same coordinates as
+    the matching output layout's warp bits (pass [out_tile] when the
+    output tile is not the NVIDIA m16n8 accumulator), which may
+    duplicate tile columns — benign replication. *)
+val operand :
+  ?warp_order:int array ->
+  ?out_tile:Layout.t ->
+  idx:int ->
+  bitwidth:int ->
+  warps:int array ->
+  shape:int array ->
+  unit ->
+  Layout.t

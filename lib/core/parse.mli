@@ -1,0 +1,24 @@
+(** A textual format for layouts, for CLI use and test fixtures.
+
+    Grammar (whitespace-insensitive):
+    {v
+      layout  := indim* "->" outdims
+      indim   := name "=" "[" image ("," image)* "]"   (or "[]" )
+      image   := "0" | "(" coord ("," coord)* ")"
+      coord   := name ":" int
+      outdims := name ":" int ("," name ":" int)*      (sizes, powers of 2)
+    v}
+
+    Example — the paper's Layout A:
+    {v
+      register=[(dim1:1),(dim0:1)]
+      lane=[(dim1:2),(dim1:4),(dim1:8),(dim0:2),(dim0:4)]
+      warp=[(dim0:8)]
+      -> dim0:16, dim1:16
+    v} *)
+
+(** [to_string l] prints in the grammar above; [of_string] parses it
+    back ([of_string (to_string l) = Ok l]). *)
+val to_string : Layout.t -> string
+
+val of_string : string -> (Layout.t, string) result

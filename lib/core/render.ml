@@ -1,0 +1,44 @@
+let dims2 l =
+  match Dims.sort (Layout.out_dims l) with
+  | [ (d1, b1); (d0, b0) ] when Dims.dim_index d0 = Some 0 && Dims.dim_index d1 = Some 1 ->
+      (1 lsl b0, 1 lsl b1)
+  | _ -> invalid_arg "Render: layout must map onto dim0 x dim1"
+
+let check_size rows cols =
+  if rows > 64 || cols > 64 then invalid_arg "Render: grid larger than 64x64"
+
+let render_cells ~rows ~cols cell =
+  let cells = Array.init rows (fun i -> Array.init cols (cell i)) in
+  let width =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc c -> max acc (String.length c)) acc row)
+      1 cells
+  in
+  let buf = Buffer.create (rows * cols * (width + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j c ->
+          Buffer.add_string buf (Printf.sprintf "%-*s" width c);
+          if j < cols - 1 then Buffer.add_char buf ' ')
+        row;
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf
+
+let grid l =
+  let rows, cols = dims2 l in
+  check_size rows cols;
+  let inv = Layout.pseudo_invert l in
+  render_cells ~rows ~cols (fun i j ->
+      let hw = Layout.apply inv [ (Dims.dim 0, i); (Dims.dim 1, j) ] in
+      let get d = try List.assoc d hw with Not_found -> 0 in
+      Printf.sprintf "w%d:t%02d:r%d" (get Dims.warp) (get Dims.lane) (get Dims.register))
+
+let memory_grid l =
+  let rows, cols = dims2 l in
+  check_size rows cols;
+  let inv = Layout.invert l in
+  render_cells ~rows ~cols (fun i j ->
+      let hw = Layout.apply inv [ (Dims.dim 0, i); (Dims.dim 1, j) ] in
+      Printf.sprintf "%4d" (try List.assoc Dims.offset hw with Not_found -> 0))

@@ -1,0 +1,14 @@
+(** ASCII rendering of 2-D layouts in the style of the paper's
+    Figures 1 and 3: each tensor cell shows which warp, thread and
+    register hold it. *)
+
+(** [grid layout] renders a 2-D distributed layout (up to 64x64 cells)
+    as a grid of [w<warp>:t<thread>:r<register>] cells.  For
+    non-injective layouts the canonical (minimal-index) holder is
+    shown.  Raises [Invalid_argument] for non-2-D or oversized
+    layouts. *)
+val grid : Layout.t -> string
+
+(** [memory_grid layout] renders a 2-D memory layout (offset -> tensor)
+    as a grid of element offsets — useful for eyeballing swizzles. *)
+val memory_grid : Layout.t -> string

@@ -1,0 +1,41 @@
+let id = Build.id
+
+let fold_dims order shape =
+  List.fold_left
+    (fun acc d -> Layout.mul acc (id (Util.log2 shape.(d)) ~in_dim:Dims.offset d))
+    Layout.empty order
+
+let row_major ~shape =
+  let n = Array.length shape in
+  fold_dims (List.init n (fun i -> n - 1 - i)) shape
+
+let column_major ~shape =
+  let n = Array.length shape in
+  fold_dims (List.init n Fun.id) shape
+
+let swizzle_offset ~vec ~per_phase ~max_phase ~cols i j =
+  let phase = i / per_phase mod max_phase in
+  let within_row = ((phase lxor (j / vec)) * vec) lxor (j mod vec) in
+  (i * cols) lxor within_row
+
+let mma_swizzle ~vec ~per_phase ~max_phase ~rows ~cols =
+  let m = Util.log2 rows and n = Util.log2 cols in
+  let v = Util.log2 vec in
+  ignore v;
+  let c i = vec * (1 lsl i / per_phase mod max_phase) mod cols in
+  let bases =
+    List.init n (fun k -> [ (Dims.dim 1, 1 lsl k) ])
+    @ List.init m (fun i -> [ (Dims.dim 0, 1 lsl i); (Dims.dim 1, c i) ])
+  in
+  Layout.make
+    ~ins:[ (Dims.offset, m + n) ]
+    ~outs:[ (Dims.dim 0, m); (Dims.dim 1, n) ]
+    ~bases:[ (Dims.offset, bases) ]
+
+let of_basis_columns ~shape cols =
+  let outs = Array.to_list (Array.mapi (fun d s -> (Dims.dim d, Util.log2 s)) shape) in
+  let rows = List.fold_left (fun acc (_, b) -> acc + b) 0 outs in
+  Layout.of_matrix
+    ~ins:[ (Dims.offset, List.length cols) ]
+    ~outs
+    (F2.Bitmatrix.make ~rows (Array.of_list cols))

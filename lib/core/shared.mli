@@ -1,0 +1,26 @@
+(** Memory layouts: maps from shared-memory offsets to logical tensor
+    coordinates (Definitions 4.11–4.14). *)
+
+(** [row_major ~shape] is the unswizzled layout: offset [k] holds the
+    [k]-th element in row-major order. [shape] gives elements per
+    logical dim (powers of two). *)
+val row_major : shape:int array -> Layout.t
+
+(** [column_major ~shape] stores the first logical dimension fastest. *)
+val column_major : shape:int array -> Layout.t
+
+(** The offset formula of Definition 4.11 (2-D only), for cross-checking
+    the layout construction: [swizzle_offset ~vec ~per_phase ~max_phase
+    ~cols i j] is the element offset of coordinate [(i, j)]. *)
+val swizzle_offset : vec:int -> per_phase:int -> max_phase:int -> cols:int -> int -> int -> int
+
+(** [mma_swizzle ~vec ~per_phase ~max_phase ~rows ~cols] is the linear
+    layout of mma swizzling (Proposition 4.12): an invertible map
+    [offset -> dim0 x dim1] whose matrix has the
+    [[I_n C; 0 I_m]] structure derived in the paper. *)
+val mma_swizzle : vec:int -> per_phase:int -> max_phase:int -> rows:int -> cols:int -> Layout.t
+
+(** [of_basis_columns ~shape cols] builds a memory layout for a tensor of
+    [shape] from the flattened images of each offset bit; used by the
+    optimal-swizzling search of Section 5.4. *)
+val of_basis_columns : shape:int array -> int list -> Layout.t

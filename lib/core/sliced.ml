@@ -1,0 +1,23 @@
+let make parent ~dim = Layout.remove_out_dim parent (Dims.dim dim)
+
+let compress l ~in_dim =
+  let mask = try List.assoc in_dim (Layout.free_variable_masks l) with Not_found -> 0 in
+  if mask = 0 then l
+  else
+    let keep =
+      List.init (Layout.in_bits l in_dim) Fun.id
+      |> List.filter (fun k -> not (F2.Bitvec.bit mask k))
+    in
+    let bases =
+      Layout.in_dims l
+      |> List.map (fun (d, bits) ->
+             let idxs = if d = in_dim then keep else List.init bits Fun.id in
+             (d, List.map (fun k -> Layout.basis l d k) idxs))
+    in
+    let ins =
+      Layout.in_dims l
+      |> List.map (fun (d, bits) -> (d, if d = in_dim then List.length keep else bits))
+    in
+    Layout.make ~ins ~outs:(Layout.out_dims l) ~bases
+
+let reduction_result parent ~dim = compress (make parent ~dim) ~in_dim:Dims.register

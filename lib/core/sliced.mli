@@ -1,0 +1,21 @@
+(** Sliced layouts (Proposition 4.8): the result of removing one logical
+    dimension from a parent distributed layout, as produced by
+    reductions and consumed by broadcasts. *)
+
+(** [make parent ~dim] projects away logical dimension [dim].  The
+    result stays surjective but typically stops being injective: the
+    hardware indices that used to map along [dim] become free
+    (broadcast) bits. *)
+val make : Layout.t -> dim:int -> Layout.t
+
+(** [compress l ~in_dim] removes the free basis vectors of [in_dim]
+    (per {!Layout.free_variable_masks}), renumbering the dimension.  A
+    reduction keeps one register per distinct output element, so its
+    result layout is [compress (make parent ~dim) ~in_dim:Dims.register]. *)
+val compress : Layout.t -> in_dim:string -> Layout.t
+
+(** [expand l ~dim ~parent] re-inserts dimension [dim] by composing with
+    the parent: used to give a broadcast result the parent's layout. *)
+val reduction_result : Layout.t -> dim:int -> Layout.t
+(** [reduction_result parent ~dim] is [compress (make parent ~dim)
+    ~in_dim:Dims.register]: the canonical layout of [tt.sum(parent, dim)]. *)

@@ -1,0 +1,156 @@
+type t = { rows : int; cols : Bitvec.t array }
+
+let make ~rows cols =
+  Array.iter
+    (fun c ->
+      if c lsr rows <> 0 then invalid_arg "Bitmatrix.make: column exceeds row count")
+    cols;
+  { rows; cols }
+
+let rows m = m.rows
+let cols m = Array.length m.cols
+let column m j = m.cols.(j)
+let columns m = Array.copy m.cols
+let get m i j = Bitvec.bit m.cols.(j) i
+let identity n = { rows = n; cols = Array.init n Bitvec.unit }
+let zero ~rows ~cols = { rows; cols = Array.make cols 0 }
+
+let apply m v =
+  let acc = ref 0 in
+  Array.iteri (fun j c -> if Bitvec.bit v j then acc := !acc lxor c) m.cols;
+  !acc
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Bitmatrix.mul: dimension mismatch";
+  { rows = a.rows; cols = Array.map (apply a) b.cols }
+
+let transpose m =
+  let n = cols m in
+  let out = Array.make m.rows 0 in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to n - 1 do
+      if get m i j then out.(i) <- out.(i) lor (1 lsl j)
+    done
+  done;
+  { rows = n; cols = out }
+
+let hconcat a b =
+  if a.rows <> b.rows then invalid_arg "Bitmatrix.hconcat: row mismatch";
+  { rows = a.rows; cols = Array.append a.cols b.cols }
+
+let block_diag a b =
+  let shifted = Array.map (fun c -> c lsl a.rows) b.cols in
+  { rows = a.rows + b.rows; cols = Array.append a.cols shifted }
+
+let divide_left m a =
+  let na = cols a and ra = rows a in
+  if cols m < na || m.rows < ra then None
+  else
+    let top_left_ok = ref true in
+    for j = 0 to na - 1 do
+      if m.cols.(j) <> a.cols.(j) then top_left_ok := false
+    done;
+    if not !top_left_ok then None
+    else
+      let nb = cols m - na in
+      let b = Array.make nb 0 in
+      let ok = ref true in
+      for j = 0 to nb - 1 do
+        let c = m.cols.(na + j) in
+        (* The remaining columns must live entirely in the high rows. *)
+        if c land ((1 lsl ra) - 1) <> 0 then ok := false else b.(j) <- c lsr ra
+      done;
+      if !ok then Some { rows = m.rows - ra; cols = b } else None
+
+(* Column echelon form with combination tracking.  Each pivot is a pair
+   [(value, comb)] where [value] is a reduced column and [comb] records
+   which original columns were XOR-ed to obtain it.  Pivots are keyed by
+   the most significant set bit of [value]. *)
+type echelon = { pivots : (Bitvec.t * Bitvec.t) list }
+
+let reduce_by pivots v comb =
+  let rec go v comb = function
+    | [] -> (v, comb)
+    | (pv, pc) :: rest ->
+        if v <> 0 && Bitvec.msb v = Bitvec.msb pv then go (v lxor pv) (comb lxor pc) pivots
+        else go v comb rest
+  in
+  go v comb pivots
+
+let echelonize m =
+  let pivots = ref [] in
+  Array.iteri
+    (fun j c ->
+      let v, comb = reduce_by !pivots c (Bitvec.unit j) in
+      if v <> 0 then pivots := (v, comb) :: !pivots)
+    m.cols;
+  { pivots = !pivots }
+
+let rank m = List.length (echelonize m).pivots
+let is_surjective m = rank m = m.rows
+let is_injective m = rank m = cols m
+let is_invertible m = m.rows = cols m && rank m = m.rows
+
+let is_identity m =
+  m.rows = cols m && Array.for_all Fun.id (Array.mapi (fun j c -> c = Bitvec.unit j) m.cols)
+
+let is_zero m = Array.for_all (fun c -> c = 0) m.cols
+
+let is_permutation m =
+  let seen = Hashtbl.create 16 in
+  Array.for_all
+    (fun c ->
+      if c = 0 then true
+      else if Bitvec.popcount c <> 1 then false
+      else if Hashtbl.mem seen c then false
+      else (
+        Hashtbl.add seen c ();
+        true))
+    m.cols
+
+let solve_with ech b =
+  let v, comb = reduce_by ech.pivots b 0 in
+  if v = 0 then Some comb else None
+
+let solve m b = solve_with (echelonize m) b
+
+let right_inverse m =
+  let ech = echelonize m in
+  let cols_out =
+    Array.init m.rows (fun i ->
+        match solve_with ech (Bitvec.unit i) with
+        | Some x -> x
+        | None -> invalid_arg "Bitmatrix.right_inverse: matrix is not surjective")
+  in
+  { rows = cols m; cols = cols_out }
+
+let inverse m =
+  if m.rows <> cols m then invalid_arg "Bitmatrix.inverse: not square";
+  right_inverse m
+
+let kernel m =
+  (* A column that reduces to zero yields a kernel combination; also track
+     combinations: replay echelonization and collect the zero reductions. *)
+  let pivots = ref [] in
+  let ker = ref [] in
+  Array.iteri
+    (fun j c ->
+      let v, comb = reduce_by !pivots c (Bitvec.unit j) in
+      if v = 0 then ker := comb :: !ker else pivots := (v, comb) :: !pivots)
+    m.cols;
+  List.rev !ker
+
+let equal a b = a.rows = b.rows && a.cols = b.cols
+
+let pp ppf m =
+  let n = cols m in
+  Format.fprintf ppf "@[<v>";
+  for i = m.rows - 1 downto 0 do
+    Format.fprintf ppf "[";
+    for j = 0 to n - 1 do
+      Format.fprintf ppf "%d%s" (if get m i j then 1 else 0) (if j = n - 1 then "" else " ")
+    done;
+    Format.fprintf ppf "]";
+    if i > 0 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

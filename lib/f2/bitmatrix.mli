@@ -1,0 +1,77 @@
+(** Matrices over [F2], stored column-major.
+
+    A matrix with [rows] rows and [n] columns represents a linear map
+    [F2^n -> F2^rows]; column [j] is the image of the basis vector [e_j],
+    stored as a {!Bitvec.t}. *)
+
+type t
+
+(** [make ~rows cols] builds a matrix from its columns. Raises
+    [Invalid_argument] if a column has a set bit at or above [rows]. *)
+val make : rows:int -> Bitvec.t array -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** [column m j] is the [j]-th column as a bit-vector. *)
+val column : t -> int -> Bitvec.t
+
+val columns : t -> Bitvec.t array
+
+(** [get m i j] is entry (row [i], column [j]). *)
+val get : t -> int -> int -> bool
+
+val identity : int -> t
+val zero : rows:int -> cols:int -> t
+
+(** [apply m v] is the matrix-vector product [m v] over [F2]. *)
+val apply : t -> Bitvec.t -> Bitvec.t
+
+(** [mul a b] is the matrix product [a b]; requires [cols a = rows b]. *)
+val mul : t -> t -> t
+
+val transpose : t -> t
+
+(** [hconcat a b] places the columns of [b] after those of [a];
+    requires equal row counts. *)
+val hconcat : t -> t -> t
+
+(** [block_diag a b] is [[a 0; 0 b]], the matrix of the product layout
+    (Definition 4.3 of the paper). *)
+val block_diag : t -> t -> t
+
+(** [divide_left m a] is the unique [b] with [m = block_diag a b] if [m]
+    has that block structure (Definition 4.4), and [None] otherwise. *)
+val divide_left : t -> t -> t option
+
+val rank : t -> int
+val is_surjective : t -> bool
+val is_injective : t -> bool
+val is_invertible : t -> bool
+val is_identity : t -> bool
+val is_zero : t -> bool
+
+(** [is_permutation m] holds when every column has at most one set bit and
+    no two non-zero columns coincide — the shape of a distributed layout
+    matrix (Definition 4.10). *)
+val is_permutation : t -> bool
+
+(** [solve m b] finds [x] with [m x = b], setting all free variables to
+    zero so the solution has minimal support among the coset of solutions
+    built from pivot columns. [None] if [b] is outside the image. *)
+val solve : t -> Bitvec.t -> Bitvec.t option
+
+(** [right_inverse m] is the least-squares right inverse of Definition 4.5:
+    a [cols m x rows m] matrix [x] with [m x = identity (rows m)], computed
+    with zero free variables. Requires [m] surjective. *)
+val right_inverse : t -> t
+
+(** [inverse m] for square invertible [m]. Raises [Invalid_argument]
+    otherwise. *)
+val inverse : t -> t
+
+(** Basis of the kernel (null space) of the map. *)
+val kernel : t -> Bitvec.t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = int
+
+let zero = 0
+let unit k = 1 lsl k
+let bit v k = v land (1 lsl k) <> 0
+let add = ( lxor )
+let pointwise_mul = ( land )
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v
+
+let parity v = popcount v land 1 = 1
+let dot a b = parity (a land b)
+
+let msb v =
+  let rec go k v = if v = 0 then k else go (k + 1) (v lsr 1) in
+  go (-1) v
+
+let lsb v = if v = 0 then -1 else msb (v land -v)
+let width v = msb v + 1
+
+let support v =
+  let rec go k acc = if k < 0 then acc else go (k - 1) (if bit v k then k :: acc else acc) in
+  go (msb v) []
+
+let extract v ~pos ~len = (v lsr pos) land ((1 lsl len) - 1)
+
+let insert v ~pos ~len field =
+  let mask = ((1 lsl len) - 1) lsl pos in
+  v land lnot mask lor ((field lsl pos) land mask)
+
+let all n = List.init (1 lsl n) Fun.id
+let equal = Int.equal
+let compare = Int.compare
+
+let to_string ~width:w v =
+  let w = max w 1 in
+  String.init w (fun i -> if bit v (w - 1 - i) then '1' else '0')
+
+let pp ~width:w ppf v = Format.fprintf ppf "0b%s" (to_string ~width:w v)

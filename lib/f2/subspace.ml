@@ -1,0 +1,67 @@
+let echelon_basis vs =
+  let rec insert pivots v =
+    if v = 0 then pivots
+    else
+      match List.find_opt (fun p -> Bitvec.msb p = Bitvec.msb v) pivots with
+      | Some p -> insert pivots (v lxor p)
+      | None -> v :: pivots
+  in
+  List.fold_left insert [] vs
+  |> List.sort (fun a b -> Int.compare (Bitvec.msb b) (Bitvec.msb a))
+
+let dim vs = List.length (echelon_basis vs)
+
+let reduce basis v =
+  (* Full reduction to the canonical coset representative: clear the
+     pivot position of every echelon basis vector, in decreasing pivot
+     order. *)
+  let pivots = echelon_basis basis in
+  List.fold_left (fun v p -> if Bitvec.bit v (Bitvec.msb p) then v lxor p else v) v pivots
+
+let mem basis v = reduce basis v = 0
+let independent_from basis v = reduce basis v <> 0
+
+let complete_basis ~dim:d basis =
+  let rec go k acc cur =
+    if k >= d then List.rev acc
+    else
+      let e = Bitvec.unit k in
+      if independent_from cur e then go (k + 1) (e :: acc) (e :: cur)
+      else go (k + 1) acc cur
+  in
+  go 0 [] basis
+
+let complement = complete_basis
+
+let sum a b = echelon_basis (a @ b)
+
+let intersection a b =
+  (* Zassenhaus: echelonize rows [(v, v)] for v in a and [(w, 0)] for w in b
+     over F2^(2d); reduced rows whose left block is zero have right blocks
+     forming a basis of the intersection. *)
+  let d =
+    List.fold_left (fun acc v -> max acc (Bitvec.width v)) 0 (a @ b)
+  in
+  let paired = List.map (fun v -> (v lsl d) lor v) a @ List.map (fun w -> w lsl d) b in
+  let rec insert pivots v =
+    if v = 0 then pivots
+    else
+      match List.find_opt (fun p -> Bitvec.msb p = Bitvec.msb v) pivots with
+      | Some p -> insert pivots (v lxor p)
+      | None -> v :: pivots
+  in
+  let pivots = List.fold_left insert [] paired in
+  List.filter_map
+    (fun p -> if p lsr d = 0 then (if p = 0 then None else Some p) else None)
+    pivots
+
+let span_elements basis =
+  let bs = Array.of_list basis in
+  let k = Array.length bs in
+  Array.init (1 lsl k) (fun i ->
+      let acc = ref 0 in
+      Array.iteri (fun j b -> if Bitvec.bit i j then acc := !acc lxor b) bs;
+      !acc)
+
+let equal_span a b =
+  List.for_all (mem a) b && List.for_all (mem b) a

@@ -1,0 +1,37 @@
+type access = { addr : int; bytes : int }
+
+let transaction_bytes = 128
+
+let phases machine accesses =
+  ignore machine;
+  let rec go current current_bytes acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | a :: rest ->
+        if current <> [] && current_bytes + a.bytes > transaction_bytes then
+          go [ a ] a.bytes (List.rev current :: acc) rest
+        else go (a :: current) (current_bytes + a.bytes) acc rest
+  in
+  go [] 0 [] accesses
+
+let phase_wavefronts machine phase =
+  let word_bytes = machine.Machine.bank_bytes in
+  let words_per_bank = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let first = a.addr / word_bytes and last = (a.addr + a.bytes - 1) / word_bytes in
+      for w = first to last do
+        let bank = w mod machine.Machine.num_banks in
+        let words =
+          match Hashtbl.find_opt words_per_bank bank with Some s -> s | None -> []
+        in
+        if not (List.mem w words) then Hashtbl.replace words_per_bank bank (w :: words)
+      done)
+    phase;
+  Hashtbl.fold (fun _ words acc -> max acc (List.length words)) words_per_bank 1
+
+let wavefronts machine accesses =
+  if accesses = [] then 0
+  else List.fold_left (fun acc p -> acc + phase_wavefronts machine p) 0 (phases machine accesses)
+
+let conflict_free machine accesses =
+  accesses = [] || wavefronts machine accesses = List.length (phases machine accesses)

@@ -1,0 +1,20 @@
+(** Shared-memory bank-conflict simulation.
+
+    This is the brute-force ground truth against which the algebraic
+    wavefront prediction of Lemma 9.4 is checked: a warp access is split
+    into 128-byte phases, and within each phase the number of wavefronts
+    is the maximum, over banks, of the number of distinct 4-byte words
+    requested from that bank (a word requested by many lanes broadcasts
+    and counts once). *)
+
+(** One lane's access: starting byte address and width in bytes. *)
+type access = { addr : int; bytes : int }
+
+(** [wavefronts machine accesses] simulates one warp-wide shared-memory
+    instruction.  The list gives the active lanes' accesses in lane
+    order. *)
+val wavefronts : Machine.t -> access list -> int
+
+(** [conflict_free machine accesses] holds when each 128-byte phase
+    completes in a single wavefront. *)
+val conflict_free : Machine.t -> access list -> bool

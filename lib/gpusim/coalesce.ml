@@ -1,0 +1,19 @@
+let sector_bytes = 32
+
+let transactions accesses =
+  let sectors = Hashtbl.create 64 in
+  List.iter
+    (fun (addr, bytes) ->
+      let first = addr / sector_bytes and last = (addr + bytes - 1) / sector_bytes in
+      for s = first to last do
+        Hashtbl.replace sectors s ()
+      done)
+    accesses;
+  Hashtbl.length sectors
+
+let instruction_name ~bits =
+  if bits <= 8 then "v1.b8"
+  else if bits <= 16 then "v1.b16"
+  else if bits <= 32 then "v1.b32"
+  else if bits <= 64 then "v2.b32"
+  else "v4.b32"

@@ -1,0 +1,13 @@
+(** Global-memory coalescing model: a warp access costs one transaction
+    per distinct 32-byte sector touched (grouped into up to 128-byte
+    cache lines for the cost model).  This drives the load/store
+    contiguity experiments (Table 3, Figure 2). *)
+
+(** [transactions accesses] counts distinct 32-byte sectors touched by a
+    warp, given per-lane [(byte_addr, bytes)] accesses. *)
+val transactions : (int * int) list -> int
+
+(** [instruction_name ~bits] renders the PTX-style mnemonic Triton would
+    emit for a per-lane access of the given width, e.g. 128 bits is
+    ["v4.b32"], 16 bits ["v1.b16"] (Table 3). *)
+val instruction_name : bits:int -> string

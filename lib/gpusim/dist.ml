@@ -1,0 +1,37 @@
+open Linear_layout
+
+type t = { layout : Layout.t; data : int array }
+
+let init layout ~f =
+  let n = 1 lsl Layout.total_in_bits layout in
+  let flat = Layout.flatten_outs layout in
+  { layout; data = Array.init n (fun hw -> f (Layout.apply_flat flat hw)) }
+
+let size d = Array.length d.data
+let get d hw = d.data.(hw)
+let set d hw v = d.data.(hw) <- v
+
+let to_logical d =
+  let flat = Layout.flatten_outs d.layout in
+  let out = Array.make (1 lsl Layout.total_out_bits d.layout) min_int in
+  let err = ref None in
+  Array.iteri
+    (fun hw v ->
+      let logical = Layout.apply_flat flat hw in
+      if out.(logical) = min_int then out.(logical) <- v
+      else if out.(logical) <> v && !err = None then
+        err :=
+          Some
+            (Printf.sprintf "broadcast mismatch at logical %d: %d vs %d" logical out.(logical) v))
+    d.data;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if Array.exists (fun v -> v = min_int) out then Error "layout is not surjective"
+      else Ok out
+
+let consistent_with d ~f =
+  let flat = Layout.flatten_outs d.layout in
+  let ok = ref true in
+  Array.iteri (fun hw v -> if v <> f (Layout.apply_flat flat hw) then ok := false) d.data;
+  !ok

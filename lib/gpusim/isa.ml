@@ -1,0 +1,162 @@
+type instr =
+  | Mov of { dst : int; src : int }
+  | Sel of { dst : int; src_slot : int array array }
+  | Scatter of { src : int; dst_slot : int array array }
+  | Shfl_idx of { dst : int; src : int; src_lane : int array array; keep : bool array array }
+  | St_shared of { slots : int list; addr : int array array; byte_width : int }
+  | Ld_shared of { slots : int list; addr : int array array; byte_width : int }
+  | Bin of { op : [ `Add | `Max ]; dst : int; a : int; b : int }
+  | Bar_sync
+
+type program = { warps : int; lanes : int; smem_elems : int; body : instr list }
+type state = { regs : int array array array; smem : int array }
+
+let make_state p ~slots =
+  {
+    regs = Array.init p.warps (fun _ -> Array.init p.lanes (fun _ -> Array.make slots 0));
+    smem = Array.make p.smem_elems 0;
+  }
+
+let accesses_of ~slots ~addr ~byte_width p w =
+  List.init p.lanes (fun lane ->
+      { Banks.addr = addr.(w).(lane) * byte_width; bytes = List.length slots * byte_width })
+
+let run machine p st =
+  let cost = Cost.zero () in
+  let check_lane_table name a =
+    if
+      Array.length a <> p.warps
+      || Array.exists (fun row -> Array.length row <> p.lanes) a
+    then failwith (name ^ ": per-warp/lane table has wrong shape")
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Mov { dst; src } ->
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              st.regs.(w).(l).(dst) <- st.regs.(w).(l).(src)
+            done
+          done;
+          cost.Cost.alu <- cost.Cost.alu + p.warps
+      | Sel { dst; src_slot } ->
+          check_lane_table "sel" src_slot;
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              let s = src_slot.(w).(l) in
+              if s >= 0 then st.regs.(w).(l).(dst) <- st.regs.(w).(l).(s)
+            done
+          done;
+          cost.Cost.alu <- cost.Cost.alu + (2 * p.warps)
+      | Scatter { src; dst_slot } ->
+          check_lane_table "scatter" dst_slot;
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              let s = dst_slot.(w).(l) in
+              if s >= 0 then st.regs.(w).(l).(s) <- st.regs.(w).(l).(src)
+            done
+          done;
+          cost.Cost.alu <- cost.Cost.alu + (2 * p.warps)
+      | Shfl_idx { dst; src; src_lane; keep } ->
+          check_lane_table "shfl" src_lane;
+          check_lane_table "shfl" keep;
+          for w = 0 to p.warps - 1 do
+            (* All lanes publish, then all lanes receive: read the
+               published values before any write. *)
+            let published = Array.init p.lanes (fun l -> st.regs.(w).(l).(src)) in
+            for l = 0 to p.lanes - 1 do
+              let s = src_lane.(w).(l) in
+              if s < 0 || s >= p.lanes then failwith "shfl: source lane out of range";
+              if keep.(w).(l) then st.regs.(w).(l).(dst) <- published.(s)
+            done
+          done;
+          cost.Cost.shuffles <- cost.Cost.shuffles + p.warps;
+          cost.Cost.alu <- cost.Cost.alu + p.warps
+      | St_shared { slots; addr; byte_width } ->
+          check_lane_table "st.shared" addr;
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              List.iteri
+                (fun i slot ->
+                  let a = addr.(w).(l) + i in
+                  if a < 0 || a >= p.smem_elems then failwith "st.shared: address out of range";
+                  st.smem.(a) <- st.regs.(w).(l).(slot))
+                slots
+            done;
+            cost.Cost.smem_wavefronts <-
+              cost.Cost.smem_wavefronts
+              + Banks.wavefronts machine (accesses_of ~slots ~addr ~byte_width p w)
+          done;
+          cost.Cost.smem_insts <- cost.Cost.smem_insts + p.warps
+      | Ld_shared { slots; addr; byte_width } ->
+          check_lane_table "ld.shared" addr;
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              List.iteri
+                (fun i slot ->
+                  let a = addr.(w).(l) + i in
+                  if a < 0 || a >= p.smem_elems then failwith "ld.shared: address out of range";
+                  st.regs.(w).(l).(slot) <- st.smem.(a))
+                slots
+            done;
+            cost.Cost.smem_wavefronts <-
+              cost.Cost.smem_wavefronts
+              + Banks.wavefronts machine (accesses_of ~slots ~addr ~byte_width p w)
+          done;
+          cost.Cost.smem_insts <- cost.Cost.smem_insts + p.warps
+      | Bin { op; dst; a; b } ->
+          let f = match op with `Add -> ( + ) | `Max -> max in
+          for w = 0 to p.warps - 1 do
+            for l = 0 to p.lanes - 1 do
+              st.regs.(w).(l).(dst) <- f st.regs.(w).(l).(a) st.regs.(w).(l).(b)
+            done
+          done;
+          cost.Cost.alu <- cost.Cost.alu + p.warps
+      | Bar_sync -> cost.Cost.barriers <- cost.Cost.barriers + 1)
+    p.body;
+  cost
+
+let static_counts p =
+  List.fold_left
+    (fun (sh, sts, lds) i ->
+      match i with
+      | Shfl_idx _ -> (sh + 1, sts, lds)
+      | St_shared _ -> (sh, sts + 1, lds)
+      | Ld_shared _ -> (sh, sts, lds + 1)
+      | Mov _ | Sel _ | Scatter _ | Bin _ | Bar_sync -> (sh, sts, lds))
+    (0, 0, 0) p.body
+
+let pp_slots ppf slots =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map (fun s -> "r" ^ string_of_int s) slots))
+
+let vec_suffix n = if n = 1 then "" else Printf.sprintf ".v%d" n
+
+let pp_instr ppf = function
+  | Mov { dst; src } -> Format.fprintf ppf "mov.b32 r%d, r%d" dst src
+  | Sel { dst; _ } -> Format.fprintf ppf "selp.b32 r%d, [per-lane slot]" dst
+  | Scatter { src; _ } -> Format.fprintf ppf "selp.b32 [per-lane slot], r%d" src
+  | Shfl_idx { dst; src; src_lane; keep } ->
+      let active =
+        Array.fold_left
+          (fun acc row -> acc + (Array.to_list row |> List.filter Fun.id |> List.length))
+          0 keep
+      in
+      Format.fprintf ppf "shfl.sync.idx.b32 r%d, r%d, [lane table], active=%d/%d" dst src active
+        (Array.fold_left (fun acc row -> acc + Array.length row) 0 src_lane)
+  | St_shared { slots; addr; byte_width } ->
+      Format.fprintf ppf "st.shared%s.b%d [base + lane offsets, e.g. %d], %a"
+        (vec_suffix (List.length slots))
+        (byte_width * 8) addr.(0).(0) pp_slots slots
+  | Ld_shared { slots; addr; byte_width } ->
+      Format.fprintf ppf "ld.shared%s.b%d %a, [base + lane offsets, e.g. %d]"
+        (vec_suffix (List.length slots))
+        (byte_width * 8) pp_slots slots addr.(0).(0)
+  | Bin { op; dst; a; b } ->
+      Format.fprintf ppf "%s.s32 r%d, r%d, r%d"
+        (match op with `Add -> "add" | `Max -> "max")
+        dst a b
+  | Bar_sync -> Format.fprintf ppf "bar.sync 0"
+
+let pp ppf p =
+  Format.fprintf ppf "// %d warps x %d lanes, %d shared elements@." p.warps p.lanes p.smem_elems;
+  List.iter (fun i -> Format.fprintf ppf "  %a@." pp_instr i) p.body

@@ -1,0 +1,65 @@
+(** A warp-level pseudo-ISA and its interpreter.
+
+    Conversion plans from [Codegen] lower to this instruction set
+    (PTX-flavoured), and the interpreter executes them on concrete
+    CTA state — register files per lane and a shared-memory array —
+    while accounting costs with the same bank and shuffle models used
+    by the planners.  Per-lane address and lane-selection immediates
+    are precomputed by the lowering (they stand for the address
+    arithmetic real code performs from [%laneid]).
+
+    Register files are indexed by {e slot}: slot [r] of lane [l] of
+    warp [w].  Memory operands are element offsets scaled by the
+    instruction's element byte width. *)
+
+type instr =
+  | Mov of { dst : int; src : int }
+      (** per-lane register move, all lanes *)
+  | Sel of { dst : int; src_slot : int array array }
+      (** per-lane register gather: lane [l] of warp [w] copies slot
+          [src_slot.(w).(l)] into [dst] ([-1] skips the lane) — the
+          predicated-move ladder real codegen emits before a shuffle *)
+  | Scatter of { src : int; dst_slot : int array array }
+      (** per-lane register scatter: lane writes [src] into slot
+          [dst_slot.(w).(l)] ([-1] skips) *)
+  | Shfl_idx of {
+      dst : int;
+      src : int;
+      src_lane : int array array;  (** [warp].[lane]: the source lane *)
+      keep : bool array array;  (** [warp].[lane]: commit the value? *)
+    }
+      (** warp shuffle: every lane publishes [src]; lane [l] of warp [w]
+          receives from [src_lane.(w).(l)] and writes [dst] if
+          [keep.(w).(l)] *)
+  | St_shared of {
+      slots : int list;  (** consecutive payload slots (vectorized) *)
+      addr : int array array;
+          (** [warp].[lane]: element offset of the first slot *)
+      byte_width : int;
+    }
+  | Ld_shared of { slots : int list; addr : int array array; byte_width : int }
+  | Bin of { op : [ `Add | `Max ]; dst : int; a : int; b : int }
+      (** per-lane ALU: [dst <- a op b] in every lane *)
+  | Bar_sync  (** CTA-wide barrier *)
+
+type program = { warps : int; lanes : int; smem_elems : int; body : instr list }
+
+(** Mutable CTA state. *)
+type state = {
+  regs : int array array array;  (** [warp].[lane].[slot] *)
+  smem : int array;
+}
+
+val make_state : program -> slots:int -> state
+
+(** [run machine program state] executes and returns accumulated
+    costs.  Raises [Failure] on malformed programs (e.g. out-of-range
+    slots or addresses). *)
+val run : Machine.t -> program -> state -> Cost.t
+
+(** Static instruction counts (for Table 6 style reporting). *)
+val static_counts : program -> int * int * int
+(** [(shuffles, shared_stores, shared_loads)] *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> program -> unit

@@ -1,0 +1,99 @@
+type vendor = Nvidia | Amd | Intel
+
+type t = {
+  name : string;
+  vendor : vendor;
+  warp_size : int;
+  num_banks : int;
+  bank_bytes : int;
+  max_vec_bits : int;
+  shuffle_bytes : int;
+  has_ldmatrix : bool;
+  has_stmatrix : bool;
+  has_wgmma : bool;
+  smem_bytes : int;
+  cost_smem_wavefront : float;
+  cost_smem_inst : float;
+  cost_shuffle : float;
+  cost_gmem_transaction : float;
+  cost_ldmatrix : float;
+  cost_alu : float;
+  cost_mma : float;
+  cost_barrier : float;
+}
+
+let nvidia_base =
+  {
+    name = "nvidia";
+    vendor = Nvidia;
+    warp_size = 32;
+    num_banks = 32;
+    bank_bytes = 4;
+    max_vec_bits = 128;
+    shuffle_bytes = 4;
+    has_ldmatrix = true;
+    has_stmatrix = false;
+    has_wgmma = false;
+    smem_bytes = 99 * 1024;
+    cost_smem_wavefront = 2.0;
+    cost_smem_inst = 1.0;
+    cost_shuffle = 2.5;
+    cost_gmem_transaction = 16.0;
+    cost_ldmatrix = 2.0;
+    cost_alu = 0.25;
+    cost_mma = 4.0;
+    cost_barrier = 8.0;
+  }
+
+let rtx4090 = { nvidia_base with name = "RTX4090"; smem_bytes = 99 * 1024 }
+
+let gh200 =
+  {
+    nvidia_base with
+    name = "GH200";
+    has_stmatrix = true;
+    has_wgmma = true;
+    smem_bytes = 227 * 1024;
+    cost_gmem_transaction = 10.0;
+  }
+
+let mi250 =
+  {
+    nvidia_base with
+    name = "MI250";
+    vendor = Amd;
+    warp_size = 64;
+    has_ldmatrix = false;
+    has_stmatrix = false;
+    has_wgmma = false;
+    smem_bytes = 64 * 1024;
+    cost_shuffle = 3.0;
+    cost_gmem_transaction = 14.0;
+  }
+
+(* Intel-like platform: 16-lane subgroups, XMX (dpas) tiles, no
+   ldmatrix-class instruction — the "out-of-tree backend" case the
+   paper's layout engine supports without compiler changes. *)
+let pvc =
+  {
+    nvidia_base with
+    name = "PVC";
+    vendor = Intel;
+    warp_size = 16;
+    has_ldmatrix = false;
+    has_stmatrix = false;
+    has_wgmma = false;
+    smem_bytes = 128 * 1024;
+    cost_shuffle = 2.5;
+    cost_gmem_transaction = 12.0;
+  }
+
+let all = [ rtx4090; gh200; mi250 ]
+
+(* [pvc] is available but not part of the paper's Table 2 platform set. *)
+let all_with_extras = all @ [ pvc ]
+
+let pp ppf m =
+  Format.fprintf ppf "%s (%s, %d lanes/warp, %d banks, %d KiB smem)" m.name
+    (match m.vendor with Nvidia -> "NVIDIA" | Amd -> "AMD" | Intel -> "Intel")
+    m.warp_size m.num_banks (m.smem_bytes / 1024)

@@ -1,0 +1,53 @@
+(** Simulated GPU platforms.
+
+    These stand in for the three machines of Table 2 of the paper
+    (NVIDIA RTX4090, NVIDIA GH200, AMD MI250).  The parameters that
+    matter to layout code generation are the warp width, the
+    shared-memory bank geometry, the widest vectorized access, and which
+    data-movement intrinsics exist; the cost weights drive the
+    cost model used by the benchmark harness. *)
+
+type vendor = Nvidia | Amd | Intel
+
+type t = {
+  name : string;
+  vendor : vendor;
+  warp_size : int;  (** threads per warp: 32 (NVIDIA) or 64 (AMD) *)
+  num_banks : int;  (** shared-memory banks, 32 on all three machines *)
+  bank_bytes : int;  (** bytes per bank per cycle, 4 *)
+  max_vec_bits : int;  (** widest vectorized load/store, 128 *)
+  shuffle_bytes : int;  (** bytes moved per lane per shuffle, 4 *)
+  has_ldmatrix : bool;
+  has_stmatrix : bool;
+  has_wgmma : bool;
+  smem_bytes : int;  (** shared memory per CTA *)
+  (* Cost weights (abstract time units per event). *)
+  cost_smem_wavefront : float;
+  cost_smem_inst : float;
+  cost_shuffle : float;
+  cost_gmem_transaction : float;
+  cost_ldmatrix : float;
+  cost_alu : float;
+  cost_mma : float;
+  cost_barrier : float;
+}
+
+(** Consumer NVIDIA GPU: mma but no wgmma, small shared memory. *)
+val rtx4090 : t
+
+(** Data-center NVIDIA GPU: wgmma, TMA-class shared memory sizes. *)
+val gh200 : t
+
+(** Data-center AMD GPU: 64-lane warps, no ldmatrix/stmatrix. *)
+val mi250 : t
+
+(** Intel-like platform (16-lane subgroups, XMX): the out-of-tree
+    backend case; not part of the paper's Table 2 set. *)
+val pvc : t
+
+val all : t list
+
+(** [all] plus {!pvc}. *)
+val all_with_extras : t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+open Linear_layout
+
+let max_contiguous (p : Blocked.params) =
+  let fastest = p.order.(0) in
+  if p.shape.(fastest) > 1 || Array.length p.order < 2 then
+    min p.size_per_thread.(fastest) p.shape.(fastest)
+  else
+    (* A size-1 fastest dimension: legacy Triton degenerates to the next
+       dimension in the order, treating the tensor as 1-D. *)
+    let next = p.order.(1) in
+    min p.size_per_thread.(next) p.shape.(next)
+
+let vector_bits p ~byte_width ~max_bits = min (max_contiguous p * byte_width * 8) max_bits

@@ -1,0 +1,19 @@
+(** The legacy contiguity heuristic (Section 5.1, Table 3).
+
+    Legacy Triton identifies contiguous elements per thread by looking
+    only at the fastest-running dimension: a thread holding a
+    [r x c] sub-tile of a row-major tensor is assumed to have [c]
+    contiguous elements even when the whole [r x c] tile is contiguous
+    in memory (tensors whose rows are narrower than the per-thread
+    tile).  Linear layouts compute the true run with
+    {!Linear_layout.Layout.num_consecutive}. *)
+
+(** [max_contiguous params] under the legacy rule: the per-thread
+    element count along the order's fastest dimension, except that a
+    size-1 fastest dimension falls back to treating the tensor as 1-D
+    over the next dimension. *)
+val max_contiguous : Linear_layout.Blocked.params -> int
+
+(** Vectorized access width in bits under the legacy rule, capped at
+    [max_bits]. *)
+val vector_bits : Linear_layout.Blocked.params -> byte_width:int -> max_bits:int -> int

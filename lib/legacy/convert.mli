@@ -1,0 +1,45 @@
+(** Legacy layout conversion: always a shared-memory round trip with the
+    row-padding heuristic (the baseline of Figures 2 and 7).
+
+    Legacy Triton does not swizzle generic conversions; instead it pads
+    each row of the scratch buffer by a small number of elements so that
+    column-wise accesses spread across banks.  Padding is not a linear
+    map, so the addresses here are computed directly. *)
+
+open Linear_layout
+
+(** [padded_offset ~cols ~pad i j] is the element offset of coordinate
+    [(i, j)] in a scratch buffer whose rows are padded by [pad]
+    elements. *)
+val padded_offset : cols:int -> pad:int -> int -> int -> int
+
+(** Default padding in elements for a given element width: enough to
+    shift successive rows to different banks (4 bytes / width, at least
+    1). *)
+val default_pad : byte_width:int -> int
+
+(** [measure machine ~dist ~addr_of ~byte_width] brute-forces one warp's
+    access cost against an arbitrary element-offset function: finds the
+    widest legal vectorization (consecutive registers mapping to
+    consecutive addresses, uniformly across lanes), then counts
+    wavefronts per instruction.  Returns
+    [(wavefronts, instructions, vec_elems)]. *)
+val measure :
+  Gpusim.Machine.t ->
+  dist:Layout.t ->
+  addr_of:(int -> int) ->
+  byte_width:int ->
+  int * int * int
+
+(** Cost of a full legacy conversion (store with padding, barrier,
+    load), accumulated over all warps. *)
+val cost : Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Gpusim.Cost.t
+
+(** Store-only variant, for operands a compute instruction reads
+    directly from shared memory (wgmma). *)
+val store_only_cost :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Gpusim.Cost.t
+
+(** Scratch bytes used, including padding (the paper's Figure 2 kernel
+    trades this against bank conflicts). *)
+val scratch_bytes : src:Layout.t -> byte_width:int -> int

@@ -1,0 +1,72 @@
+open Linear_layout
+
+type t =
+  | Blocked of Linear_layout.Blocked.params
+  | Mma of { warps : int array; shape : int array }
+  | Mma_operand of { idx : int; bitwidth : int; warps : int array; shape : int array }
+  | Sliced of { parent : t; dim : int }
+
+let rec to_linear = function
+  | Blocked p -> Linear_layout.Blocked.make p
+  | Mma { warps; shape } -> Mma.output ~bitwidth:32 ~warps ~shape ()
+  | Mma_operand { idx; bitwidth; warps; shape } -> Mma.operand ~idx ~bitwidth ~warps ~shape ()
+  | Sliced { parent; dim } -> Sliced.make (to_linear parent) ~dim
+
+let rec kind = function
+  | Blocked _ -> Support.Blocked
+  | Mma _ -> Support.Mma
+  | Mma_operand _ -> Support.Mma_input
+  | Sliced { parent; dim = _ } -> (
+      match kind parent with
+      | Support.Blocked -> Support.Sliced_blocked
+      | Support.Mma -> Support.Sliced_mma
+      | Support.Mma_input -> Support.Sliced_mma_input
+      | k -> k)
+
+(* {1 Per-kind interface methods, hand-written the legacy way} *)
+
+let ceil_div a b = (a + b - 1) / b
+
+let rec elems_per_thread = function
+  | Blocked p ->
+      (* size_per_thread times the replication needed to cover the
+         tensor — the formula each legacy layout duplicated. *)
+      let per_dim d =
+        let tile = p.size_per_thread.(d) * p.threads_per_warp.(d) * p.warps_per_cta.(d) in
+        p.size_per_thread.(d) * ceil_div p.shape.(d) tile
+      in
+      Some (Array.to_list (Array.mapi (fun d _ -> per_dim d) p.shape) |> List.fold_left ( * ) 1)
+  | Mma { warps; shape } ->
+      (* 4 accumulators per m16n8 tile, times tile replication. *)
+      let reps0 = ceil_div shape.(0) (16 * warps.(0)) in
+      let reps1 = ceil_div shape.(1) (8 * warps.(1)) in
+      Some (4 * reps0 * reps1)
+  | Mma_operand _ ->
+      (* Legacy had no general rule here (small shapes and low-precision
+         operand tiling were the Table 5 failures). *)
+      None
+  | Sliced { parent; dim = _ } -> (
+      match parent with
+      | Blocked p -> (
+          match elems_per_thread (Blocked p) with
+          | Some n -> Some (max 1 (n / p.size_per_thread.(1)))
+          | None -> None)
+      | _ -> None)
+
+let contig_per_thread = function
+  | Blocked p -> Some (Contig.max_contiguous p)
+  | Mma _ -> Some 2 (* accumulator pairs *)
+  | Mma_operand _ | Sliced _ -> None
+
+let supports_reduce l = Support.supports_reduction (kind l)
+
+let conversion_supported a b =
+  (* The hand-written conversion matrix: blocked <-> blocked and
+     blocked <-> mma existed; everything touching operand or sliced
+     layouts did not. *)
+  match (a, b) with
+  | Blocked _, Blocked _ -> true
+  | Blocked _, Mma _ | Mma _, Blocked _ -> true
+  | Mma _, Mma _ -> true
+  | Blocked _, Mma_operand _ -> true (* via shared memory staging *)
+  | _ -> false

@@ -1,0 +1,39 @@
+(** The legacy layout system's shape: one constructor per layout kind,
+    each with its own hand-written interface methods — the design the
+    paper replaces (Section 3).
+
+    Every kind also converts {e into} a linear layout
+    ({!to_linear}) — the backward-compatibility utility Section 3
+    describes — which is how the tests show where the per-kind methods
+    agree with the generic linear-layout computation and where they
+    fall short ([None] = the legacy system had no rule, the bug
+    sources the paper catalogues). *)
+
+type t =
+  | Blocked of Linear_layout.Blocked.params
+  | Mma of { warps : int array; shape : int array }
+  | Mma_operand of { idx : int; bitwidth : int; warps : int array; shape : int array }
+  | Sliced of { parent : t; dim : int }
+
+(** The Section 3 utility: every legacy layout is a linear layout. *)
+val to_linear : t -> Linear_layout.Layout.t
+
+val kind : t -> Support.layout_kind
+
+(** {1 The per-kind interface methods legacy Triton hand-wrote}
+
+    [None] means the legacy implementation had no (correct) rule for
+    this kind — exactly the robustness gaps of Tables 3-5. *)
+
+(** Elements each thread holds. *)
+val elems_per_thread : t -> int option
+
+(** Contiguous elements per thread (the vectorization width input). *)
+val contig_per_thread : t -> int option
+
+(** Whether the legacy backend could emit a reduction over this layout. *)
+val supports_reduce : t -> bool
+
+(** Whether a hand-written conversion between the two kinds existed —
+    the quadratic explosion of Section 1: most pairs were missing. *)
+val conversion_supported : t -> t -> bool

@@ -1,0 +1,43 @@
+type layout_kind =
+  | Blocked
+  | Mma
+  | Mma_input
+  | Sliced_blocked
+  | Sliced_mma
+  | Sliced_mma_input
+  | Custom
+
+let all_kinds = [ Blocked; Mma; Mma_input; Sliced_blocked; Sliced_mma; Sliced_mma_input; Custom ]
+
+let kind_name = function
+  | Blocked -> "Blocked"
+  | Mma -> "MMA"
+  | Mma_input -> "MMA Input"
+  | Sliced_blocked -> "Sliced<Blocked>"
+  | Sliced_mma -> "Sliced<MMA>"
+  | Sliced_mma_input -> "Sliced<MMA Input>"
+  | Custom -> "Custom"
+
+let supports_reduction = function
+  | Blocked | Mma | Sliced_blocked -> true
+  | Mma_input | Sliced_mma | Sliced_mma_input | Custom -> false
+
+let supports_dot ~a ~b ~m ~n ~k =
+  let ba = Tensor_lib.Dtype.bits a and bb = Tensor_lib.Dtype.bits b in
+  let bmin = min ba bb and bmax = max ba bb in
+  (* The lower-precision operand's mma tile packs [32 / bmin]
+     consecutive elements into one 32-bit register; dimensions smaller
+     than the packed tile would need >32-bit runs, which legacy layouts
+     cannot express. *)
+  let packed = max 1 (32 / bmin) in
+  let tile_m = 16 and tile_n = 8 in
+  let fits = m >= tile_m && n >= max tile_n (packed * 2) && k >= packed * 8 in
+  (* Software upcasts below 16 bits on only one operand need scale/value
+     re-layouts legacy cannot build at all; mixed 16-bit pairs compute
+     in the packed mma path and only survive when the reduction and
+     column dimensions hold full packed tiles. *)
+  let upcast_ok = bmin >= 16 || ba = bb in
+  let mixed_16 = a <> b && bmax <= 16 in
+  fits && upcast_ok && ((not mixed_16) || (k >= packed * 32 && n >= 32))
+
+let can_compare a b = a = b

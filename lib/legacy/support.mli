@@ -1,0 +1,44 @@
+(** The legacy layout system's feature-support matrix.
+
+    Each entry models a limitation the paper documents and measures:
+
+    - reductions over MMA-input and sliced-MMA layouts were unsupported
+      because the legacy system could not enumerate duplicated threads
+      generically (Table 4);
+    - matrix multiplications on small shapes with low-precision types
+      were rejected because "Triton does not support any MMA layouts
+      with more than 32-bit consecutive elements in the last dimension
+      of the tile" (Table 5, §6.1);
+    - custom (user-defined permutation) layouts could not be expressed
+      at all;
+    - layouts of different kinds could not be compared, so equivalent
+      layouts were still converted through shared memory (the welford
+      case, §6.2). *)
+
+type layout_kind =
+  | Blocked
+  | Mma
+  | Mma_input
+  | Sliced_blocked
+  | Sliced_mma
+  | Sliced_mma_input
+  | Custom
+
+val kind_name : layout_kind -> string
+val all_kinds : layout_kind list
+
+(** Legacy reduction support (Table 4's pass/fail column). *)
+val supports_reduction : layout_kind -> bool
+
+(** Legacy dot support for a [m x k] by [k x n] product of the given
+    element types (Table 5). The tile of the lower-precision operand
+    needs [32 / bits] consecutive elements; when a tensor dimension is
+    smaller than the resulting tile the legacy system has no layout for
+    it. Mixed int/float pairs additionally need a software upcast of
+    the smaller type, which legacy layouts only provide down to 16
+    bits. *)
+val supports_dot : a:Tensor_lib.Dtype.t -> b:Tensor_lib.Dtype.t -> m:int -> n:int -> k:int -> bool
+
+(** Legacy layout comparison: layouts of different kinds are never
+    recognized as equal, so a conversion is always materialized. *)
+val can_compare : layout_kind -> layout_kind -> bool

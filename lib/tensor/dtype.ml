@@ -1,0 +1,125 @@
+type t = F8E4M3 | F8E5M2 | F16 | BF16 | F32 | F64 | I8 | I16 | I32 | I64 | MXFP4
+
+let all = [ F8E4M3; F8E5M2; F16; BF16; F32; F64; I8; I16; I32; I64; MXFP4 ]
+
+let name = function
+  | F8E4M3 -> "f8e4m3"
+  | F8E5M2 -> "f8e5m2"
+  | F16 -> "f16"
+  | BF16 -> "bf16"
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | MXFP4 -> "mxfp4"
+
+let of_name s =
+  List.find_opt (fun t -> name t = s) all
+  |> function
+  | Some t -> Some t
+  | None -> if s = "f8" then Some F8E4M3 else None
+
+let bits = function
+  | MXFP4 -> 4
+  | F8E4M3 | F8E5M2 | I8 -> 8
+  | F16 | BF16 | I16 -> 16
+  | F32 | I32 -> 32
+  | F64 | I64 -> 64
+
+let byte_width t =
+  match t with
+  | MXFP4 -> invalid_arg "Dtype.byte_width: mxfp4 is sub-byte"
+  | _ -> bits t / 8
+
+let is_int = function I8 | I16 | I32 | I64 -> true | _ -> false
+let is_float t = not (is_int t)
+
+(* Generic small-float codec: [e] exponent bits, [m] mantissa bits, no
+   infinities (all encodings finite, like e4m3); saturates at the
+   format's largest magnitude. *)
+let small_float_encode ~e ~m x =
+  let bias = (1 lsl (e - 1)) - 1 in
+  let max_field = (1 lsl e) - 1 in
+  let sign = if x < 0. || (x = 0. && 1. /. x < 0.) then 1 else 0 in
+  let a = Float.abs x in
+  if a <> a (* nan: saturate *) then
+    (sign lsl (e + m)) lor (max_field lsl m) lor ((1 lsl m) - 1)
+  else if a = 0. then sign lsl (e + m)
+  else
+    let mant, ex = Float.frexp a in
+    (* a = mant * 2^ex, mant in [0.5, 1). Normalized: 1.f * 2^(ex-1). *)
+    let exp = ex - 1 in
+    let field = exp + bias in
+    let max_val = Float.of_int ((2 lsl m) - 1) *. Float.ldexp 1. (max_field - bias - m) in
+    if a >= max_val then (sign lsl (e + m)) lor (max_field lsl m) lor ((1 lsl m) - 1)
+    else if field <= 0 then begin
+      (* Subnormal: value = frac * 2^(1 - bias - m). *)
+      let frac = Float.round (Float.ldexp a (bias - 1 + m)) in
+      let frac = int_of_float frac in
+      if frac >= 1 lsl m then (sign lsl (e + m)) lor (1 lsl m)
+      else (sign lsl (e + m)) lor frac
+    end
+    else
+      let frac = Float.round (Float.ldexp (mant -. 0.5) (m + 1)) in
+      let frac = int_of_float frac in
+      if frac >= 1 lsl m then
+        if field + 1 > max_field then (sign lsl (e + m)) lor (max_field lsl m) lor ((1 lsl m) - 1)
+        else (sign lsl (e + m)) lor ((field + 1) lsl m)
+      else (sign lsl (e + m)) lor (field lsl m) lor frac
+
+let small_float_decode ~e ~m v =
+  let bias = (1 lsl (e - 1)) - 1 in
+  let sign = if v lsr (e + m) land 1 = 1 then -1. else 1. in
+  let field = (v lsr m) land ((1 lsl e) - 1) in
+  let frac = v land ((1 lsl m) - 1) in
+  if field = 0 then sign *. Float.ldexp (Float.of_int frac) (1 - bias - m)
+  else sign *. Float.ldexp (Float.of_int ((1 lsl m) + frac)) (field - bias - m)
+
+let int_saturate ~bits x =
+  let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+  let v = if x <> x then 0 else int_of_float x in
+  max lo (min hi v)
+
+let float_params = function
+  | F8E4M3 -> Some (4, 3)
+  | F8E5M2 -> Some (5, 2)
+  | F16 -> Some (5, 10)
+  | BF16 -> Some (8, 7)
+  | MXFP4 -> Some (2, 1)
+  | _ -> None
+
+let encode t x =
+  match t with
+  | F8E4M3 | F8E5M2 | F16 | BF16 | MXFP4 ->
+      let e, m = Option.get (float_params t) in
+      small_float_encode ~e ~m x
+  | F32 -> Int32.to_int (Int32.bits_of_float x) land 0xFFFFFFFF
+  | F64 ->
+      (* OCaml ints are 63 bits: drop the lowest mantissa bit.  The
+         half-ulp loss is irrelevant for the emulation. *)
+      Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float x) 1)
+  | I8 | I16 | I32 | I64 ->
+      let b = bits t in
+      int_saturate ~bits:(min b 62) x land ((1 lsl min b 62) - 1)
+
+let decode t v =
+  match t with
+  | F8E4M3 | F8E5M2 | F16 | BF16 | MXFP4 ->
+      let e, m = Option.get (float_params t) in
+      small_float_decode ~e ~m v
+  | F32 -> Int32.float_of_bits (Int32.of_int v)
+  | F64 -> Int64.float_of_bits (Int64.shift_left (Int64.of_int v) 1)
+  | I8 | I16 | I32 | I64 ->
+      let b = min (bits t) 62 in
+      let v = v land ((1 lsl b) - 1) in
+      let v = if v >= 1 lsl (b - 1) then v - (1 lsl b) else v in
+      Float.of_int v
+
+let quantize t x =
+  match t with
+  | F64 -> x
+  | _ -> decode t (encode t x)
+
+let pp ppf t = Format.pp_print_string ppf (name t)

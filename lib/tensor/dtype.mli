@@ -1,0 +1,46 @@
+(** Element types used by the mixed-precision experiments (Section 5.2,
+    Tables 3 and 5, Figure 6).
+
+    Floating-point formats are emulated by quantization: a value is
+    encoded to the format's bit pattern and decoded back, so arithmetic
+    on "f16" data is ordinary [float] arithmetic on quantized inputs —
+    deterministic and faithful enough for correctness comparisons. *)
+
+type t =
+  | F8E4M3
+  | F8E5M2
+  | F16
+  | BF16
+  | F32
+  | F64
+  | I8
+  | I16
+  | I32
+  | I64
+  | MXFP4  (** 4-bit e2m1 values; scales handled by {!Mxfp4} *)
+
+val name : t -> string
+val of_name : string -> t option
+
+(** Storage width in bits (MXFP4 is 4). *)
+val bits : t -> int
+
+(** Storage width in bytes; raises for MXFP4 (sub-byte, packed). *)
+val byte_width : t -> int
+
+val is_float : t -> bool
+val is_int : t -> bool
+
+(** [quantize t x] rounds [x] to the nearest representable value
+    (round-to-nearest-even on the mantissa, saturating at the format's
+    maximum; integers truncate toward zero and saturate). *)
+val quantize : t -> float -> float
+
+(** [encode t x] is the bit pattern of [quantize t x];
+    [decode t bits] recovers the value. *)
+val encode : t -> float -> int
+
+val decode : t -> int -> float
+
+val all : t list
+val pp : Format.formatter -> t -> unit

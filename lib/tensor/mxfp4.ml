@@ -1,0 +1,44 @@
+let block_size = 32
+
+type t = { length : int; nibbles : int array; scales : int array }
+
+(* e2m1: values 0, 0.5, 1, 1.5, 2, 3, 4, 6 (and negatives). *)
+let e2m1_max = 6.0
+
+let e8m0_bias = 127
+
+let quantize xs =
+  let n = Array.length xs in
+  let blocks = (n + block_size - 1) / block_size in
+  let scales = Array.make blocks 0 in
+  let nibbles = Array.make n 0 in
+  for b = 0 to blocks - 1 do
+    let lo = b * block_size and hi = min n ((b + 1) * block_size) in
+    let maxabs = ref 0. in
+    for i = lo to hi - 1 do
+      maxabs := Float.max !maxabs (Float.abs xs.(i))
+    done;
+    (* Smallest power-of-two scale s with maxabs / s <= e2m1_max. *)
+    let exp =
+      if !maxabs = 0. then 0
+      else
+        let rec go e = if !maxabs /. Float.ldexp 1. e <= e2m1_max then e else go (e + 1) in
+        let rec down e =
+          if e > -100 && !maxabs /. Float.ldexp 1. (e - 1) <= e2m1_max then down (e - 1) else e
+        in
+        down (go 0)
+    in
+    scales.(b) <- exp + e8m0_bias;
+    let s = Float.ldexp 1. exp in
+    for i = lo to hi - 1 do
+      nibbles.(i) <- Dtype.encode Dtype.MXFP4 (xs.(i) /. s)
+    done
+  done;
+  { length = n; nibbles; scales }
+
+let get t i =
+  let s = Float.ldexp 1. (t.scales.(i / block_size) - e8m0_bias) in
+  Dtype.decode Dtype.MXFP4 t.nibbles.(i) *. s
+
+let dequantize t = Array.init t.length (get t)
+let upcast_to t dtype = Array.map (Dtype.quantize dtype) (dequantize t)

@@ -1,0 +1,186 @@
+type t = { dtype : Dtype.t; shape : int array; data : float array }
+
+let numel_of shape = Array.fold_left ( * ) 1 shape
+let numel t = numel_of t.shape
+let create dtype shape = { dtype; shape; data = Array.make (numel_of shape) 0. }
+
+let index t coords =
+  if Array.length coords <> Array.length t.shape then invalid_arg "Tensor.index: rank mismatch";
+  let idx = ref 0 in
+  Array.iteri
+    (fun d c ->
+      if c < 0 || c >= t.shape.(d) then invalid_arg "Tensor.index: out of bounds";
+      idx := (!idx * t.shape.(d)) + c)
+    coords;
+  !idx
+
+let coords_of shape i =
+  let n = Array.length shape in
+  let out = Array.make n 0 in
+  let rem = ref i in
+  for d = n - 1 downto 0 do
+    out.(d) <- !rem mod shape.(d);
+    rem := !rem / shape.(d)
+  done;
+  out
+
+let init dtype shape ~f =
+  {
+    dtype;
+    shape;
+    data = Array.init (numel_of shape) (fun i -> Dtype.quantize dtype (f (coords_of shape i)));
+  }
+
+let get t coords = t.data.(index t coords)
+let set t coords v = t.data.(index t coords) <- Dtype.quantize t.dtype v
+let astype t dtype = { dtype; shape = t.shape; data = Array.map (Dtype.quantize dtype) t.data }
+
+let matmul a b ~acc =
+  match (a.shape, b.shape) with
+  | [| m; k |], [| k'; n |] when k = k' ->
+      let out = create acc [| m; n |] in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let s = ref 0. in
+          for l = 0 to k - 1 do
+            s := Dtype.quantize acc (!s +. (a.data.((i * k) + l) *. b.data.((l * n) + j)))
+          done;
+          out.data.((i * n) + j) <- !s
+        done
+      done;
+      out
+  | _ -> invalid_arg "Tensor.matmul: shapes must be [m;k] x [k;n]"
+
+let transpose t =
+  match t.shape with
+  | [| m; n |] ->
+      let out = create t.dtype [| n; m |] in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          out.data.((j * m) + i) <- t.data.((i * n) + j)
+        done
+      done;
+      out
+  | _ -> invalid_arg "Tensor.transpose: rank-2 only"
+
+let transpose_perm t ~perm =
+  let rank = Array.length t.shape in
+  if Array.length perm <> rank then invalid_arg "Tensor.transpose_perm: rank mismatch";
+  let out_shape = Array.map (fun d -> t.shape.(d)) perm in
+  let out = create t.dtype out_shape in
+  for i = 0 to numel t - 1 do
+    let coords = coords_of t.shape i in
+    let out_coords = Array.map (fun d -> coords.(d)) perm in
+    out.data.(index out out_coords) <- t.data.(i)
+  done;
+  out
+
+let reshape t ~shape =
+  if Array.fold_left ( * ) 1 shape <> numel t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { t with shape; data = Array.copy t.data }
+
+let broadcast_to t ~shape =
+  let rank = Array.length t.shape in
+  if Array.length shape <> rank then invalid_arg "Tensor.broadcast_to: rank mismatch";
+  Array.iteri
+    (fun d s ->
+      if t.shape.(d) <> s && t.shape.(d) <> 1 then
+        invalid_arg "Tensor.broadcast_to: only size-1 dims can grow")
+    shape;
+  let out = create t.dtype shape in
+  for i = 0 to numel out - 1 do
+    let coords = coords_of shape i in
+    let src = Array.mapi (fun d c -> if t.shape.(d) = 1 then 0 else c) coords in
+    out.data.(i) <- t.data.(index t src)
+  done;
+  out
+
+let expand_dims t ~axis =
+  let rank = Array.length t.shape in
+  if axis < 0 || axis > rank then invalid_arg "Tensor.expand_dims: bad axis";
+  let shape =
+    Array.init (rank + 1) (fun d ->
+        if d < axis then t.shape.(d) else if d = axis then 1 else t.shape.(d - 1))
+  in
+  { t with shape; data = Array.copy t.data }
+
+let reduce_sum t ~axis =
+  let rank = Array.length t.shape in
+  if axis < 0 || axis >= rank then invalid_arg "Tensor.reduce_sum: bad axis";
+  let out_shape = Array.of_list (List.filteri (fun d _ -> d <> axis) (Array.to_list t.shape)) in
+  let out = create t.dtype out_shape in
+  for i = 0 to numel t - 1 do
+    let coords = coords_of t.shape i in
+    let out_coords =
+      Array.of_list (List.filteri (fun d _ -> d <> axis) (Array.to_list coords))
+    in
+    let j = index out out_coords in
+    out.data.(j) <- Dtype.quantize t.dtype (out.data.(j) +. t.data.(i))
+  done;
+  out
+
+let cumsum t ~axis ~reverse =
+  let rank = Array.length t.shape in
+  if axis < 0 || axis >= rank then invalid_arg "Tensor.cumsum: bad axis";
+  let out = { t with data = Array.copy t.data } in
+  let n = t.shape.(axis) in
+  (* Walk every line along [axis] sequentially. *)
+  for i = 0 to numel t - 1 do
+    let coords = coords_of t.shape i in
+    if coords.(axis) = 0 then begin
+      let acc = ref 0. in
+      for step = 0 to n - 1 do
+        let p = if reverse then n - 1 - step else step in
+        coords.(axis) <- p;
+        let j = index t coords in
+        acc := Dtype.quantize t.dtype (!acc +. t.data.(j));
+        out.data.(j) <- !acc
+      done;
+      coords.(axis) <- 0
+    end
+  done;
+  out
+
+let gather t ~index:indices ~axis =
+  if t.shape <> indices.shape then invalid_arg "Tensor.gather: shape mismatch";
+  let n = t.shape.(axis) in
+  let out = create t.dtype t.shape in
+  for i = 0 to numel t - 1 do
+    let coords = coords_of t.shape i in
+    let idx = ((int_of_float indices.data.(i) mod n) + n) mod n in
+    coords.(axis) <- idx;
+    out.data.(i) <- t.data.(index t coords)
+  done;
+  out
+
+let join a b =
+  if a.shape <> b.shape || a.dtype <> b.dtype then invalid_arg "Tensor.join: mismatch";
+  let shape = Array.append a.shape [| 2 |] in
+  let out = create a.dtype shape in
+  Array.iteri
+    (fun i v ->
+      out.data.(2 * i) <- v;
+      out.data.((2 * i) + 1) <- b.data.(i))
+    a.data;
+  out
+
+let split t ~half =
+  let rank = Array.length t.shape in
+  if rank = 0 || t.shape.(rank - 1) <> 2 then invalid_arg "Tensor.split: bad shape";
+  let shape = Array.sub t.shape 0 (rank - 1) in
+  let out = create t.dtype shape in
+  Array.iteri (fun i _ -> out.data.(i) <- t.data.((2 * i) + half)) out.data;
+  out
+
+let equal a b = a.dtype = b.dtype && a.shape = b.shape && a.data = b.data
+
+let max_abs_diff a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let m = ref 0. in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.data.(i)))) a.data;
+  !m
+
+let pp ppf t =
+  Format.fprintf ppf "tensor<%a>[%s]" Dtype.pp t.dtype
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)))

@@ -1,0 +1,59 @@
+(** Logical tensors on quantized float payloads, row-major.
+
+    Values are stored as [float]s already quantized to the tensor's
+    dtype, so arithmetic emulates low-precision computation
+    deterministically. *)
+
+type t = { dtype : Dtype.t; shape : int array; data : float array }
+
+val create : Dtype.t -> int array -> t
+val init : Dtype.t -> int array -> f:(int array -> float) -> t
+val numel : t -> int
+
+(** Row-major linear index of a coordinate. *)
+val index : t -> int array -> int
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+(** Re-quantize into another dtype. *)
+val astype : t -> Dtype.t -> t
+
+(** [matmul a b ~acc] multiplies [MxK] by [KxN], accumulating in [acc]
+    precision and producing an [acc]-typed result. *)
+val matmul : t -> t -> acc:Dtype.t -> t
+
+(** Reference kernels for the benchmark suite. *)
+val transpose : t -> t
+
+(** [transpose_perm t ~perm] permutes dimensions: output dim [i] is
+    input dim [perm.(i)]. *)
+val transpose_perm : t -> perm:int array -> t
+
+(** Row-major reinterpretation (element count preserved). *)
+val reshape : t -> shape:int array -> t
+
+(** Grow size-1 dimensions to [shape]. *)
+val broadcast_to : t -> shape:int array -> t
+
+(** Insert a size-1 dimension at [axis]. *)
+val expand_dims : t -> axis:int -> t
+
+val reduce_sum : t -> axis:int -> t
+
+(** Inclusive cumulative sum along [axis]; [reverse] scans from the
+    high end. *)
+val cumsum : t -> axis:int -> reverse:bool -> t
+
+(** [gather t ~index ~axis] with [index] of [t]'s shape:
+    [out[...,p,...] = t[..., index[...,p,...] mod n, ...]]. *)
+val gather : t -> index:t -> axis:int -> t
+
+(** Stack two equal-shaped tensors along a new trailing dim of size 2,
+    and its inverse. *)
+val join : t -> t -> t
+
+val split : t -> half:int -> t
+val equal : t -> t -> bool
+val max_abs_diff : t -> t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type config = { num_warps : int }
+
+let default_configs = [ { num_warps = 1 }; { num_warps = 2 }; { num_warps = 4 }; { num_warps = 8 } ]
+
+let run_config machine ~mode ~build ~size cfg =
+  let prog = build ~size in
+  Engine.run machine ~mode ~num_warps:cfg.num_warps prog
+
+let best machine ~mode ~build ~size =
+  match
+    List.map
+      (fun cfg ->
+        let r = run_config machine ~mode ~build ~size cfg in
+        (Engine.time machine r, (cfg, r)))
+      default_configs
+  with
+  | [] -> invalid_arg "Autotune.best: no configurations"
+  | first :: rest ->
+      snd (List.fold_left (fun (t, b) (t', b') -> if t' < t then (t', b') else (t, b)) first rest)
+
+let tuning_gain machine ~mode ~build ~size =
+  let default = run_config machine ~mode ~build ~size { num_warps = 4 } in
+  let _, tuned = best machine ~mode ~build ~size in
+  Engine.time machine default /. Engine.time machine tuned

@@ -1,0 +1,20 @@
+(** Cost-model-driven configuration search — the "holistic performance
+    model for autotuning" the paper names as future work, over the knobs
+    our engine exposes. *)
+
+type config = { num_warps : int }
+
+val default_configs : config list
+
+(** [best machine ~mode ~build ~size] runs the layout engine under each
+    configuration and returns the cheapest one with its result. *)
+val best :
+  Gpusim.Machine.t ->
+  mode:Engine.mode ->
+  build:(size:int -> Program.t) ->
+  size:int ->
+  config * Engine.result
+
+(** Speedup of the tuned configuration over the 4-warp default. *)
+val tuning_gain :
+  Gpusim.Machine.t -> mode:Engine.mode -> build:(size:int -> Program.t) -> size:int -> float

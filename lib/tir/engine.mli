@@ -1,0 +1,41 @@
+(** Triton's layout engine over the mini-IR (Section 4.4), with both
+    layout systems selectable:
+
+    - [Linear]: anchors (blocked for global memory, mma for dot) are
+      propagated forward through shape operations using the linear
+      transfer functions; conversions are classified and costed with
+      the Section 5 algorithms (no-op detection, register permutation,
+      warp shuffles, optimal swizzling, ldmatrix).
+    - [Legacy]: the same anchors, but conversions always go through
+      padded shared memory, layouts of different kinds are never
+      recognized as equal, reductions skip broadcast deduplication, and
+      several layout/dtype combinations are unsupported. *)
+
+type mode = Linear | Legacy_mode
+
+type conversion_info = {
+  at : Program.id;
+  mechanism : string;
+  conv_cost : Gpusim.Cost.t;
+}
+
+type result = {
+  cost : Gpusim.Cost.t;  (** whole-program data-movement cost *)
+  conversions : conversion_info list;  (** materialized conversions *)
+  converts : int;  (** conversions that were not no-ops *)
+  noop_converts : int;  (** conversions folded away (equivalent layouts) *)
+  local_loads : int;  (** static shared-memory load ops *)
+  local_stores : int;  (** static shared-memory store ops *)
+  remats : int;
+      (** conversions avoided by rematerializing cheap load/elementwise
+          chains in the consumer's layout (Section 4.4's backward pass) *)
+  unsupported : string list;  (** legacy feature failures, empty = pass *)
+}
+
+(** Abstract time for the result on a machine. *)
+val time : Gpusim.Machine.t -> result -> float
+
+(** [run machine ~mode program] assigns layouts (mutating the program's
+    [layout] fields) and returns the accumulated statistics.
+    [num_warps] defaults to 4. *)
+val run : Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> Program.t -> result

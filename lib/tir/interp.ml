@@ -1,0 +1,196 @@
+open Tensor_lib
+
+type outputs = (Program.id * Tensor.t) list
+
+(* {1 Shared operator semantics}
+
+   The specific functions are stand-ins (the IR only carries names);
+   what matters is that both evaluators use exactly the same table. *)
+
+let unary_fn = function
+  | "exp" -> fun x -> Float.exp (Float.min x 20.)
+  | "log" -> fun x -> Float.log (Float.abs x +. 1.)
+  | "cast" | "upcast" -> Fun.id
+  | _ -> fun x -> (0.5 *. x) +. 0.25
+
+let binary_fn = function
+  | "add" -> ( +. )
+  | "sub" | "norm" -> ( -. )
+  | "mul" -> ( *. )
+  | "div" | "scale" -> fun a b -> a /. (Float.abs b +. 1.)
+  | _ -> fun a b -> (0.5 *. a) +. (0.25 *. b)
+
+let apply_ew ~name ~dtype args out_shape =
+  let f =
+    match args with
+    | [ x ] -> fun i -> unary_fn name x.Tensor.data.(i)
+    | [ a; b ] -> fun i -> binary_fn name a.Tensor.data.(i) b.Tensor.data.(i)
+    | x :: rest ->
+        fun i ->
+          List.fold_left
+            (fun acc t -> binary_fn name acc t.Tensor.data.(i))
+            x.Tensor.data.(i) rest
+    | [] -> invalid_arg "Interp: elementwise without sources"
+  in
+  {
+    Tensor.dtype;
+    shape = out_shape;
+    data = Array.init (Array.fold_left ( * ) 1 out_shape) (fun i -> Dtype.quantize dtype (f i));
+  }
+
+(* Matrix multiplication with the exact quantization order of the
+   layout-level path: quantize the product to f32, then the running sum
+   to f32. *)
+let qf32 = Dtype.quantize Dtype.F32
+
+let dot_ref a b =
+  match (a.Tensor.shape, b.Tensor.shape) with
+  | [| m; k |], [| k'; n |] when k = k' ->
+      let out = Tensor.create Dtype.F32 [| m; n |] in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let s = ref 0. in
+          for l = 0 to k - 1 do
+            s := qf32 (!s +. qf32 (a.Tensor.data.((i * k) + l) *. b.Tensor.data.((l * n) + j)))
+          done;
+          out.Tensor.data.((i * n) + j) <- !s
+        done
+      done;
+      out
+  | _ -> invalid_arg "Interp: dot shapes"
+
+(* {1 Evaluation core} *)
+
+let input_for inputs name shape dtype =
+  match List.assoc_opt name inputs with
+  | Some t ->
+      if t.Tensor.shape <> shape then failwith ("Interp: input shape mismatch for " ^ name);
+      Tensor.astype t dtype
+  | None -> failwith ("Interp: missing input " ^ name)
+
+let eval ~dot ~gather ~checkpoint prog ~inputs =
+  let values = Array.make (Program.length prog) None in
+  let value i = Option.get values.(i) in
+  let outs = ref [] in
+  Array.iteri
+    (fun i (ins : Program.instr) ->
+      let shape = ins.Program.shape and dtype = ins.Program.dtype in
+      let v =
+        match ins.Program.node with
+        | Program.Load { name } -> input_for inputs name shape dtype
+        | Program.Iota { axis } ->
+            Tensor.init dtype shape ~f:(fun c -> Float.of_int c.(axis))
+        | Program.Full { value } -> Tensor.init dtype shape ~f:(fun _ -> value)
+        | Program.Store { src } ->
+            let t = value src in
+            outs := (i, t) :: !outs;
+            t
+        | Program.Elementwise { name; srcs } ->
+            apply_ew ~name ~dtype (List.map value srcs) shape
+        | Program.Dot { a; b } -> dot i (value a) (value b)
+        | Program.Reduce { src; axis } -> Tensor.reduce_sum (value src) ~axis
+        | Program.Expand_dims { src; axis } -> Tensor.expand_dims (value src) ~axis
+        | Program.Broadcast { src } -> Tensor.broadcast_to (value src) ~shape
+        | Program.Trans { src; perm } -> Tensor.transpose_perm (value src) ~perm
+        | Program.Reshape { src } -> Tensor.reshape (value src) ~shape
+        | Program.Gather { src; index; axis } -> gather i (value src) (value index) ~axis
+        | Program.Join { a; b } -> Tensor.join (value a) (value b)
+        | Program.Split { src; half } -> Tensor.split (value src) ~half
+        | Program.Scan { src; axis; reverse } -> Tensor.cumsum (value src) ~axis ~reverse
+        | Program.Convert { src } -> value src
+      in
+      let v = checkpoint i v in
+      values.(i) <- Some v)
+    (Program.instrs prog);
+  List.rev !outs
+
+let reference prog ~inputs =
+  eval prog ~inputs
+    ~dot:(fun _ a b -> dot_ref a b)
+    ~gather:(fun _ src index ~axis -> Tensor.gather src ~index ~axis)
+    ~checkpoint:(fun _ v -> v)
+
+(* {1 Layout-aware evaluation} *)
+
+let to_dist layout (t : Tensor.t) =
+  Gpusim.Dist.init layout ~f:(fun logical -> Dtype.encode t.Tensor.dtype t.Tensor.data.(logical))
+
+let of_dist (d : Gpusim.Dist.t) ~shape ~dtype =
+  match Gpusim.Dist.to_logical d with
+  | Error e -> failwith ("Interp: inconsistent layout value: " ^ e)
+  | Ok data -> { Tensor.dtype; shape; data = Array.map (Dtype.decode dtype) data }
+
+let through_layouts machine ?(num_warps = 4) prog ~inputs =
+  ignore (Engine.run machine ~mode:Engine.Linear ~num_warps prog);
+  let layout_of i =
+    match (Program.instr prog i).Program.layout with
+    | Some l -> l
+    | None -> failwith "Interp: engine left an instruction without a layout"
+  in
+  let checkpoint i (t : Tensor.t) =
+    (* Round-trip through the assigned layout: verifies coverage and
+       broadcast consistency at every step. *)
+    of_dist (to_dist (layout_of i) t) ~shape:t.Tensor.shape ~dtype:t.Tensor.dtype
+  in
+  let dot i a b =
+    let prog_i = Program.instr prog i in
+    let out_layout = Option.get prog_i.Program.layout in
+    let a_id, b_id =
+      match prog_i.Program.node with
+      | Program.Dot { a; b } -> (a, b)
+      | _ -> assert false
+    in
+    let la = layout_of a_id and lb = layout_of b_id in
+    let tensor_core =
+      Codegen.Mma_lower.check_ownership ~out:out_layout ~lhs:la ~rhs:lb = Ok ()
+    in
+    if not tensor_core then dot_ref a b
+    else begin
+      let da = to_dist la a and db = to_dist lb b in
+      let mul x y =
+        Dtype.encode Dtype.F32
+          (qf32 (Dtype.decode a.Tensor.dtype x *. Dtype.decode b.Tensor.dtype y))
+      in
+      let add x y =
+        Dtype.encode Dtype.F32 (qf32 (Dtype.decode Dtype.F32 x +. Dtype.decode Dtype.F32 y))
+      in
+      let c =
+        Codegen.Mma_lower.execute_dot ~out:out_layout da db ~mul ~add
+          ~zero:(Dtype.encode Dtype.F32 0.)
+      in
+      of_dist c ~shape:prog_i.Program.shape ~dtype:Dtype.F32
+    end
+  in
+  let gather i src index ~axis =
+    let prog_i = Program.instr prog i in
+    let src_id, idx_id =
+      match prog_i.Program.node with
+      | Program.Gather { src; index; axis = _ } -> (src, index)
+      | _ -> assert false
+    in
+    let l = layout_of src_id in
+    let d_src = to_dist l src in
+    (* The engine forces the index into the source's layout. *)
+    let d_idx =
+      to_dist l { index with Tensor.dtype = (Program.instr prog idx_id).Program.dtype }
+    in
+    let out = Codegen.Gather.execute ~src:d_src ~index:d_idx ~axis in
+    of_dist out ~shape:prog_i.Program.shape ~dtype:prog_i.Program.dtype
+  in
+  eval prog ~inputs ~dot ~gather ~checkpoint
+
+let synth_inputs prog =
+  Array.to_list (Program.instrs prog)
+  |> List.filter_map (fun (ins : Program.instr) ->
+         match ins.Program.node with
+         | Program.Load { name } ->
+             let seed = Hashtbl.hash name land 0xffff in
+             Some
+               ( name,
+                 Tensor.init ins.Program.dtype ins.Program.shape ~f:(fun c ->
+                     let h =
+                       Array.fold_left (fun acc x -> (acc * 31) + x) seed c land 1023
+                     in
+                     if Dtype.is_int ins.Program.dtype then Float.of_int (h land 15)
+                     else (Float.of_int h /. 256.) -. 2.) )
+         | _ -> None)

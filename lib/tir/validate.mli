@@ -1,0 +1,28 @@
+(** Post-engine validation: re-derive every instruction's layout
+    obligations from its operation and check the engine's assignment —
+    the kind of verifier pass a production compiler runs after layout
+    assignment.
+
+    Checks per instruction:
+    - a layout exists, covers the instruction's shape, and is
+      surjective;
+    - shape operations relate input and output layouts by the
+      operation's index map (transposes rename, reshapes flatten,
+      expand/broadcast/slice preserve the non-broadcast structure);
+    - reductions produce a slice of the input's layout;
+    - every layout passes {!Linear_layout.Check.distributed} without
+      errors. *)
+
+type issue = { at : Program.id; message : string }
+
+val program : Program.t -> issue list
+
+(** [run_and_validate machine ~mode prog] = engine + validation;
+    raises [Failure] listing the issues if any.  Only linear-mode
+    assignments are verified: the legacy baseline rewrites unsupported
+    layouts in place (its forced normalization conversions), so the
+    per-op relations are not observable on its final state. *)
+val run_and_validate :
+  Gpusim.Machine.t -> mode:Engine.mode -> ?num_warps:int -> Program.t -> Engine.result
+
+val pp : Format.formatter -> issue list -> unit

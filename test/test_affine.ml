@@ -1,0 +1,159 @@
+(* Tests for the affine-layout extension (Section 8): y = Ax (+) b,
+   with flip and aligned slicing built on it. *)
+
+open Linear_layout
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let layout_a =
+  Blocked.make
+    {
+      shape = [| 16; 16 |];
+      size_per_thread = [| 2; 2 |];
+      threads_per_warp = [| 4; 8 |];
+      warps_per_cta = [| 2; 1 |];
+      order = [| 1; 0 |];
+    }
+
+let get d out = List.assoc d out
+
+let test_of_linear () =
+  let a = Affine.of_linear layout_a in
+  check_bool "linear" true (Affine.is_linear a);
+  let out = Affine.apply a [ (Dims.register, 1); (Dims.lane, 9) ] in
+  check_int "same as layout" 2 (get (Dims.dim 0) out);
+  check_int "same as layout j" 3 (get (Dims.dim 1) out)
+
+let test_offset_apply () =
+  let a = Affine.make layout_a ~offset:[ (Dims.dim 1, 5) ] in
+  check_bool "not linear" false (Affine.is_linear a);
+  let out = Affine.apply a [ (Dims.register, 1); (Dims.lane, 9) ] in
+  check_int "i unchanged" 2 (get (Dims.dim 0) out);
+  check_int "j xored" (3 lxor 5) (get (Dims.dim 1) out)
+
+let test_offset_validation () =
+  (match Affine.make layout_a ~offset:[ ("nope", 1) ] with
+  | exception Layout.Error _ -> ()
+  | _ -> Alcotest.fail "unknown dimension must be rejected");
+  match Affine.make layout_a ~offset:[ (Dims.dim 0, 16) ] with
+  | exception Layout.Error _ -> ()
+  | _ -> Alcotest.fail "out-of-range offset must be rejected"
+
+let test_flip_involution () =
+  let f = Affine.flip layout_a ~dim:0 in
+  (* flip o flip = the identity-on-image: composing the flip's offset
+     twice cancels. *)
+  let out1 = Affine.apply f [ (Dims.register, 0); (Dims.lane, 0); (Dims.warp, 0) ] in
+  check_int "row 0 flips to 15" 15 (get (Dims.dim 0) out1);
+  (* Apply the affine inverse and re-apply: roundtrip. *)
+  let inv = Affine.invert f in
+  let back = Affine.apply inv out1 in
+  check_int "roundtrip reg" 0 (get Dims.register back);
+  check_int "roundtrip lane" 0 (get Dims.lane back)
+
+let test_compose_offsets () =
+  (* Composing a flip (on the tensor) with the identity tensor->tensor
+     map carrying another offset XORs the offsets. *)
+  let f = Affine.flip layout_a ~dim:1 in
+  let id_t =
+    Affine.make
+      (Layout.mul
+         (Layout.identity1d 4 ~in_dim:(Dims.dim 1) ~out_dim:(Dims.dim 1))
+         (Layout.identity1d 4 ~in_dim:(Dims.dim 0) ~out_dim:(Dims.dim 0)))
+      ~offset:[ (Dims.dim 1, 3) ]
+  in
+  let c = Affine.compose id_t f in
+  let out = Affine.apply c [ (Dims.register, 0); (Dims.lane, 0); (Dims.warp, 0) ] in
+  check_int "offsets xor" (15 lxor 3) (get (Dims.dim 1) out)
+
+let test_invert_roundtrip () =
+  let a = Affine.make layout_a ~offset:[ (Dims.dim 0, 7); (Dims.dim 1, 2) ] in
+  let ai = Affine.invert a in
+  (* For every hardware point, invert (apply x) = x. *)
+  for hw = 0 to 255 do
+    let point =
+      [
+        (Dims.register, hw land 3);
+        (Dims.lane, (hw lsr 2) land 31);
+        (Dims.warp, hw lsr 7);
+      ]
+    in
+    let back = Affine.apply ai (Affine.apply a point) in
+    List.iter
+      (fun (d, v) -> if List.assoc d back <> v then Alcotest.failf "roundtrip failed at %d" hw)
+      point
+  done
+
+let test_slice () =
+  (* Take rows 8..15 of the 16x16 tensor: one warp bit selects the
+     window, so the reduced layout loses it. *)
+  let s = Affine.slice layout_a ~dim:0 ~start:8 ~size:8 in
+  check_int "warp dropped" 0 (Layout.in_bits s.Affine.linear Dims.warp);
+  (* The window's element (8, 0) is register 0 of thread 0 in the
+     reduced layout, reported in original coordinates. *)
+  let out = Affine.apply s [ (Dims.register, 0); (Dims.lane, 0) ] in
+  check_int "rebased row" 8 (get (Dims.dim 0) out);
+  check_int "col" 0 (get (Dims.dim 1) out);
+  (* Unaligned or oversized windows are rejected. *)
+  (match Affine.slice layout_a ~dim:0 ~start:4 ~size:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unaligned slice must be rejected");
+  match Affine.slice layout_a ~dim:0 ~start:16 ~size:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range slice must be rejected"
+
+let test_slice_covers_window () =
+  let s = Affine.slice layout_a ~dim:0 ~start:8 ~size:8 in
+  (* Every element of rows 8..15 is reachable; no element outside. *)
+  let seen = Hashtbl.create 128 in
+  let bits = Layout.total_in_bits s.Affine.linear in
+  for hw = 0 to (1 lsl bits) - 1 do
+    let out =
+      Affine.apply s (Layout.unflatten_value (Layout.in_dims s.Affine.linear) hw)
+    in
+    let i = get (Dims.dim 0) out and j = get (Dims.dim 1) out in
+    if i < 8 || i > 15 then Alcotest.failf "row %d outside window" i;
+    Hashtbl.replace seen (i, j) ()
+  done;
+  check_int "all 128 window elements covered" 128 (Hashtbl.length seen)
+
+let prop_affine_apply_difference_is_linear =
+  QCheck.Test.make ~name:"x -> f(x) xor f(0) is linear" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_bound 255) (int_bound 255)))
+    (fun (u, v) ->
+      let a = Affine.make layout_a ~offset:[ (Dims.dim 0, 9); (Dims.dim 1, 4) ] in
+      let ap x =
+        let out =
+          Affine.apply a
+            [
+              (Dims.register, x land 3);
+              (Dims.lane, (x lsr 2) land 31);
+              (Dims.warp, (x lsr 7) land 1);
+            ]
+        in
+        (get (Dims.dim 0) out lsl 4) lor get (Dims.dim 1) out
+      in
+      let f0 = ap 0 in
+      (ap u lxor f0) lxor (ap v lxor f0) = ap (u lxor v) lxor f0)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "affine"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "of_linear" `Quick test_of_linear;
+          Alcotest.test_case "offset apply" `Quick test_offset_apply;
+          Alcotest.test_case "offset validation" `Quick test_offset_validation;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "flip" `Quick test_flip_involution;
+          Alcotest.test_case "compose" `Quick test_compose_offsets;
+          Alcotest.test_case "invert roundtrip" `Quick test_invert_roundtrip;
+          Alcotest.test_case "slice" `Quick test_slice;
+          Alcotest.test_case "slice covers window" `Quick test_slice_covers_window;
+        ] );
+      ("properties", q [ prop_affine_apply_difference_is_linear ]);
+    ]

@@ -1,0 +1,487 @@
+(* Tests for the Section 5 code-generation algorithms: SIMD matching,
+   warp shuffles, optimal swizzling, conversion planning, gather. *)
+
+open Linear_layout
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let m = Gpusim.Machine.gh200
+
+let blocked ?(warps = [| 1; 1 |]) ?(order = [| 1; 0 |]) ~spt ~tpw shape =
+  Blocked.make
+    {
+      shape;
+      size_per_thread = spt;
+      threads_per_warp = tpw;
+      warps_per_cta = warps;
+      order;
+    }
+
+(* {1 Simd} *)
+
+let test_vec_tile () =
+  let t = Codegen.Simd.vec_tile ~bits:128 ~byte_width:4 in
+  check_int "4 elements" 4 (Layout.in_size t Dims.register);
+  check_int "offset bits" 2 (Layout.out_bits t Dims.offset)
+
+let test_ldmatrix_match () =
+  (* f16 elements, each thread holding 2 consecutive, 4-thread groups
+     per row: exactly the ldmatrix tile. *)
+  let dist = blocked ~spt:[| 1; 2 |] ~tpw:[| 8; 4 |] [| 8; 8 |] in
+  let mem = Shared.row_major ~shape:[| 8; 8 |] in
+  let reg_to_off =
+    Layout.compose (Layout.invert (Layout.flatten_outs mem)) (Layout.flatten_outs dist)
+  in
+  check_bool "ldmatrix ok" true (Codegen.Simd.can_use_ldmatrix reg_to_off ~byte_width:2);
+  (* A column-major access pattern cannot use ldmatrix. *)
+  let dist_t = blocked ~order:[| 0; 1 |] ~spt:[| 2; 1 |] ~tpw:[| 4; 8 |] [| 8; 8 |] in
+  let l_t =
+    Layout.compose (Layout.invert (Layout.flatten_outs mem)) (Layout.flatten_outs dist_t)
+  in
+  check_bool "ldmatrix rejected" false (Codegen.Simd.can_use_ldmatrix l_t ~byte_width:2)
+
+let test_max_vector_bits () =
+  let dist = blocked ~spt:[| 1; 8 |] ~tpw:[| 32; 1 |] [| 32; 8 |] in
+  let mem = Shared.row_major ~shape:[| 32; 8 |] in
+  let l = Layout.compose (Layout.invert (Layout.flatten_outs mem)) (Layout.flatten_outs dist) in
+  check_int "8 x f16 = 128 bits" 128
+    (Codegen.Simd.max_vector_bits l ~byte_width:2 ~max_bits:128)
+
+let test_vectorizable_register_bits () =
+  (* A register-permuted layout: registers map to offsets out of order. *)
+  let l =
+    Layout.make
+      ~ins:[ (Dims.register, 2) ]
+      ~outs:[ (Dims.offset, 2) ]
+      ~bases:[ (Dims.register, [ [ (Dims.offset, 2) ]; [ (Dims.offset, 1) ] ]) ]
+  in
+  (* Offset bit 0 comes from register bit 1, offset bit 1 from bit 0. *)
+  Alcotest.(check (list int)) "permutation found" [ 1; 0 ]
+    (Codegen.Simd.vectorizable_register_bits l)
+
+(* {1 Shuffle} *)
+
+let unwrap = function Ok x -> x | Error e -> Alcotest.fail e
+
+let test_shuffle_small () =
+  (* An 8-element vector: src interleaves lanes at stride 2, dst at
+     stride 1 — the Figure 4 style exchange. *)
+  let src =
+    Layout.make
+      ~ins:[ (Dims.register, 1); (Dims.lane, 2) ]
+      ~outs:[ (Dims.dim 0, 3) ]
+      ~bases:
+        [
+          (Dims.register, [ [ (Dims.dim 0, 1) ] ]);
+          (Dims.lane, [ [ (Dims.dim 0, 2) ]; [ (Dims.dim 0, 4) ] ]);
+        ]
+  in
+  let dst =
+    Layout.make
+      ~ins:[ (Dims.register, 1); (Dims.lane, 2) ]
+      ~outs:[ (Dims.dim 0, 3) ]
+      ~bases:
+        [
+          (Dims.register, [ [ (Dims.dim 0, 4) ] ]);
+          (Dims.lane, [ [ (Dims.dim 0, 1) ]; [ (Dims.dim 0, 2) ] ]);
+        ]
+    in
+  let p = unwrap (Codegen.Shuffle.plan m ~src ~dst ~byte_width:4) in
+  check_bool "rounds is a power of two" true (p.Codegen.Shuffle.rounds > 0);
+  let d = Gpusim.Dist.init src ~f:(fun i -> 100 + i) in
+  let d' = Codegen.Shuffle.execute p d in
+  check_bool "data lands in dst layout" true
+    (Gpusim.Dist.consistent_with d' ~f:(fun i -> 100 + i))
+
+let test_shuffle_mma_to_blocked () =
+  (* Convert an mma accumulator to a blocked layout within one warp. *)
+  let src = Mma.output ~bitwidth:32 ~warps:[| 1; 1 |] ~shape:[| 16; 16 |] () in
+  let dst = blocked ~spt:[| 1; 8 |] ~tpw:[| 16; 2 |] [| 16; 16 |] in
+  let p = unwrap (Codegen.Shuffle.plan m ~src ~dst ~byte_width:4) in
+  let d = Gpusim.Dist.init src ~f:(fun i -> i * 3) in
+  let d' = Codegen.Shuffle.execute p d in
+  check_bool "converted" true (Gpusim.Dist.consistent_with d' ~f:(fun i -> i * 3));
+  check_bool "dst layout" true (Layout.equal d'.Gpusim.Dist.layout dst)
+
+let test_shuffle_rejects_cross_warp () =
+  let src = blocked ~warps:[| 2; 1 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let dst = blocked ~warps:[| 1; 2 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  match Codegen.Shuffle.plan m ~src ~dst ~byte_width:4 with
+  | Ok _ -> Alcotest.fail "cross-warp conversion must be rejected"
+  | Error _ -> ()
+
+let test_shuffle_identity_is_trivial () =
+  let l = blocked ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let p = unwrap (Codegen.Shuffle.plan m ~src:l ~dst:l ~byte_width:4) in
+  (* All thread bits are common: G is empty, and the vectorized common
+     registers keep rounds low. *)
+  check_int "no exchanges needed" 0 (List.length p.Codegen.Shuffle.g)
+
+(* {1 Swizzle_opt} *)
+
+let per_inst_check name s ~dist ~byte_width ~expected_free =
+  let total, insts =
+    Codegen.Swizzle_opt.simulate_wavefronts m ~mem:s.Codegen.Swizzle_opt.mem ~dist ~byte_width
+      ~vec:s.Codegen.Swizzle_opt.vec
+  in
+  if total mod insts <> 0 then
+    Alcotest.failf "%s: %d wavefronts not divisible by %d insts" name total insts;
+  let per_inst = total / insts in
+  let n = max 1 ((1 lsl s.Codegen.Swizzle_opt.vec_bits) * byte_width / 4) in
+  if expected_free then check_int (name ^ " conflict-free") n per_inst;
+  per_inst
+
+let test_swizzle_transpose_f32 () =
+  (* Transposed access: row-major write layout vs column-major read
+     layout; unswizzled memory would conflict heavily, the optimal
+     swizzle is conflict-free both ways. *)
+  let src = blocked ~spt:[| 1; 4 |] ~tpw:[| 8; 4 |] [| 32; 32 |] in
+  let dst = blocked ~order:[| 0; 1 |] ~spt:[| 4; 1 |] ~tpw:[| 4; 8 |] [| 32; 32 |] in
+  let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width:4 in
+  check_bool "memory layout invertible" true (Layout.is_invertible s.Codegen.Swizzle_opt.mem);
+  let st = per_inst_check "store" s ~dist:src ~byte_width:4 ~expected_free:true in
+  let ld = per_inst_check "load" s ~dist:dst ~byte_width:4 ~expected_free:true in
+  check_int "predicted store" s.Codegen.Swizzle_opt.store_wavefronts st;
+  check_int "predicted load" s.Codegen.Swizzle_opt.load_wavefronts ld
+
+let test_swizzle_beats_unswizzled () =
+  (* With an unswizzled (row-major) scratch buffer, the column-major
+     read has severe conflicts; the optimal layout removes them. *)
+  let src = blocked ~spt:[| 1; 4 |] ~tpw:[| 8; 4 |] [| 32; 32 |] in
+  let dst = blocked ~order:[| 0; 1 |] ~spt:[| 4; 1 |] ~tpw:[| 4; 8 |] [| 32; 32 |] in
+  let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width:4 in
+  let naive_mem = Shared.row_major ~shape:[| 32; 32 |] in
+  let naive, _ =
+    Codegen.Swizzle_opt.simulate_wavefronts m ~mem:naive_mem ~dist:dst ~byte_width:4 ~vec:[]
+  in
+  let opt, _ =
+    Codegen.Swizzle_opt.simulate_wavefronts m ~mem:s.Codegen.Swizzle_opt.mem ~dist:dst
+      ~byte_width:4 ~vec:s.Codegen.Swizzle_opt.vec
+  in
+  check_bool
+    (Printf.sprintf "optimal (%d) < naive (%d)" opt naive)
+    true (opt < naive)
+
+let test_swizzle_execute_correct () =
+  let src = Mma.output ~bitwidth:32 ~warps:[| 2; 2 |] ~shape:[| 32; 32 |] () in
+  let dst = blocked ~warps:[| 4; 1 |] ~spt:[| 1; 4 |] ~tpw:[| 8; 4 |] [| 32; 32 |] in
+  let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width:4 in
+  let d = Gpusim.Dist.init src ~f:(fun i -> i + 11) in
+  let d' = Codegen.Swizzle_opt.execute ~mem:s.Codegen.Swizzle_opt.mem ~dst d in
+  check_bool "converted" true (Gpusim.Dist.consistent_with d' ~f:(fun i -> i + 11))
+
+(* {1 Operand staging (mma swizzle + ldmatrix)} *)
+
+let test_operand_staging_ldmatrix () =
+  let src = Blocked.default ~elems_per_thread:8 ~warp_size:32 ~num_warps:4 [| 128; 64 |] in
+  let dst = Mma.operand ~idx:0 ~bitwidth:16 ~warps:[| 4; 1 |] ~shape:[| 128; 64 |] () in
+  (match Codegen.Operand_staging.plan m ~src ~dst ~byte_width:2 with
+  | Some staging ->
+      check_bool "ldmatrix used on GH200" true staging.Codegen.Operand_staging.uses_ldmatrix;
+      check_bool "ldmatrix instructions counted" true
+        (staging.Codegen.Operand_staging.staging_cost.Gpusim.Cost.ldmatrix > 0);
+      check_bool "Def 4.11 parameters sane" true
+        (staging.Codegen.Operand_staging.vec >= 2
+        && staging.Codegen.Operand_staging.per_phase >= 1
+        && staging.Codegen.Operand_staging.max_phase >= 1)
+  | None -> Alcotest.fail "staging plan expected");
+  (* No ldmatrix on AMD: the plan degrades to plain accesses. *)
+  match Codegen.Operand_staging.plan Gpusim.Machine.mi250 ~src ~dst ~byte_width:2 with
+  | Some staging ->
+      check_bool "no ldmatrix on MI250" false staging.Codegen.Operand_staging.uses_ldmatrix
+  | None -> ()
+
+let test_operand_staging_rejects_1d () =
+  let src = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 [| 1024 |] in
+  check_bool "1-D rejected" true
+    (Codegen.Operand_staging.plan m ~src ~dst:src ~byte_width:4 = None)
+
+(* {1 Conversion planning} *)
+
+let test_conversion_classification () =
+  let l = blocked ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let p = Codegen.Conversion.plan m ~src:l ~dst:l ~byte_width:4 in
+  Alcotest.(check string) "no-op" "no-op" (Codegen.Conversion.mechanism_name p.mechanism);
+  (* Register permutation: same lanes/warps, registers reordered. *)
+  let reg_perm =
+    (* Same as l but with the two register bits swapped: swap dim0/dim1
+       per-thread tiles. *)
+    Layout.make ~ins:(Layout.in_dims l) ~outs:(Layout.out_dims l)
+      ~bases:
+        (List.map
+           (fun (d, bits) ->
+             let images = List.init bits (Layout.basis l d) in
+             (d, if d = Dims.register then List.rev images else images))
+           (Layout.in_dims l))
+  in
+  let p2 = Codegen.Conversion.plan m ~src:l ~dst:reg_perm ~byte_width:4 in
+  Alcotest.(check string) "register permutation" "register permutation"
+    (Codegen.Conversion.mechanism_name p2.mechanism);
+  (* Warp columns differ: shared memory. *)
+  let src = blocked ~warps:[| 2; 1 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let dst = blocked ~warps:[| 1; 2 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let p3 = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  Alcotest.(check string) "shared memory" "shared memory"
+    (Codegen.Conversion.mechanism_name p3.mechanism);
+  (* Same warps, different lanes, no broadcast: warp shuffle. *)
+  let dst2 = blocked ~spt:[| 1; 4 |] ~tpw:[| 16; 2 |] [| 16; 16 |] in
+  let src2 = blocked ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let p4 = Codegen.Conversion.plan m ~src:src2 ~dst:dst2 ~byte_width:4 in
+  Alcotest.(check string) "warp shuffle" "warp shuffle"
+    (Codegen.Conversion.mechanism_name p4.mechanism)
+
+let test_conversion_execute_all_paths () =
+  let check_path src dst =
+    let p = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+    let d = Gpusim.Dist.init src ~f:(fun i -> i * 13 + 1) in
+    let d' = Codegen.Conversion.execute p d in
+    check_bool
+      (Codegen.Conversion.mechanism_name p.mechanism)
+      true
+      (Gpusim.Dist.consistent_with d' ~f:(fun i -> i * 13 + 1))
+  in
+  let a = blocked ~warps:[| 2; 1 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let b = blocked ~warps:[| 1; 2 |] ~spt:[| 1; 4 |] ~tpw:[| 8; 4 |] [| 16; 16 |] in
+  check_path a a;
+  check_path a b;
+  check_path b a;
+  let mma = Mma.output ~bitwidth:32 ~warps:[| 2; 1 |] ~shape:[| 16; 16 |] () in
+  check_path a mma;
+  check_path mma b
+
+let test_conversion_cost_ordering () =
+  (* No-op < register permute < shuffle < shared memory, on one warp. *)
+  let l = blocked ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let shuffle_dst = blocked ~spt:[| 1; 4 |] ~tpw:[| 16; 2 |] [| 16; 16 |] in
+  let cost src dst =
+    let p = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+    Gpusim.Cost.estimate m (Codegen.Conversion.cost m p)
+  in
+  let noop = cost l l in
+  let shfl = cost l shuffle_dst in
+  let src_w = blocked ~warps:[| 2; 1 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let dst_w = blocked ~warps:[| 1; 2 |] ~spt:[| 2; 2 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let smem = cost src_w dst_w in
+  check_bool "no-op free" true (noop = 0.);
+  check_bool (Printf.sprintf "shuffle (%f) < shared (%f)" shfl smem) true (shfl < smem)
+
+(* {1 Gather} *)
+
+let test_gather_plan () =
+  (* Gather along dim0 with one warp: stays in the warp. *)
+  let l = blocked ~spt:[| 2; 1 |] ~tpw:[| 8; 4 |] [| 16; 4 |] in
+  (match Codegen.Gather.plan l ~axis:0 with
+  | Codegen.Gather.Warp_shuffle { rounds; _ } -> check_int "rounds = lanes on axis" 8 rounds
+  | Shared_fallback -> Alcotest.fail "should stay in warp");
+  (* With warps split along the axis, fall back. *)
+  let l2 = blocked ~warps:[| 2; 1 |] ~spt:[| 1; 1 |] ~tpw:[| 8; 4 |] [| 16; 4 |] in
+  match Codegen.Gather.plan l2 ~axis:0 with
+  | Codegen.Gather.Warp_shuffle _ -> Alcotest.fail "warps own the axis: must fall back"
+  | Shared_fallback -> ()
+
+let test_gather_execute () =
+  let l = blocked ~spt:[| 2; 1 |] ~tpw:[| 8; 4 |] [| 16; 4 |] in
+  (* index[i][j] = (i + 3) mod 16 : a rotation along the axis. *)
+  let rows = 16 and cols = 4 in
+  ignore cols;
+  let src = Gpusim.Dist.init l ~f:(fun v -> v * 2) in
+  let index =
+    Gpusim.Dist.init l ~f:(fun v ->
+        let coords = Layout.unflatten_value (Layout.out_dims l) v in
+        (List.assoc (Dims.dim 0) coords + 3) mod rows)
+  in
+  let out = Codegen.Gather.execute ~src ~index ~axis:0 in
+  let expected v =
+    let dims = Layout.out_dims l in
+    let coords = Layout.unflatten_value dims v in
+    let i = List.assoc (Dims.dim 0) coords in
+    let coords' =
+      List.map (fun (d, c) -> (d, if d = Dims.dim 0 then (i + 3) mod rows else c)) coords
+    in
+    Layout.flatten_value dims coords' * 2
+  in
+  check_bool "gathered" true (Gpusim.Dist.consistent_with out ~f:expected)
+
+(* {1 Properties} *)
+
+let arb_layout_pair_same_warp =
+  (* Random pairs of single-warp blocked/mma layouts over a 16x16 or
+     32x32 tensor: every conversion stays within the warp. *)
+  let gen =
+    QCheck.Gen.(
+      let* size = oneofl [ 16; 32 ] in
+      let layout_gen =
+        oneof
+          [
+            (let* spt1 = oneofl [ 1; 2; 4 ] in
+             let* ord = oneofl [ [| 1; 0 |]; [| 0; 1 |] ] in
+             let spt = if ord.(0) = 1 then [| 1; spt1 |] else [| spt1; 1 |] in
+             let tpw = if ord.(0) = 1 then [| 4; 8 |] else [| 8; 4 |] in
+             return
+               (Blocked.make
+                  {
+                    shape = [| size; size |];
+                    size_per_thread = spt;
+                    threads_per_warp = tpw;
+                    warps_per_cta = [| 1; 1 |];
+                    order = ord;
+                  }));
+            return (Mma.output ~bitwidth:32 ~warps:[| 1; 1 |] ~shape:[| size; size |] ());
+            return (Mma.output ~bitwidth:16 ~warps:[| 1; 1 |] ~shape:[| size; size |] ());
+          ]
+      in
+      let* a = layout_gen and* b = layout_gen in
+      return (a, b))
+  in
+  QCheck.make gen ~print:(fun (a, b) -> Layout.to_string a ^ "\n->\n" ^ Layout.to_string b)
+
+let prop_shuffle_moves_data =
+  QCheck.Test.make ~name:"shuffle plans move every element correctly" ~count:100
+    arb_layout_pair_same_warp (fun (src, dst) ->
+      match Codegen.Shuffle.plan m ~src ~dst ~byte_width:4 with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p ->
+          let d = Gpusim.Dist.init src ~f:(fun i -> i lxor 0x55) in
+          let d' = Codegen.Shuffle.execute p d in
+          Gpusim.Dist.consistent_with d' ~f:(fun i -> i lxor 0x55))
+
+let prop_conversion_execute =
+  QCheck.Test.make ~name:"conversion execute is correct on all paths" ~count:100
+    arb_layout_pair_same_warp (fun (src, dst) ->
+      let p = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+      let d = Gpusim.Dist.init src ~f:(fun i -> i + 7) in
+      Gpusim.Dist.consistent_with (Codegen.Conversion.execute p d) ~f:(fun i -> i + 7))
+
+let prop_swizzle_prediction_matches_simulation =
+  QCheck.Test.make ~name:"Lemma 9.4: predicted wavefronts = simulated" ~count:60
+    arb_layout_pair_same_warp (fun (src, dst) ->
+      let byte_width = 4 in
+      let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width in
+      let check dist predicted =
+        let total, insts =
+          Codegen.Swizzle_opt.simulate_wavefronts m ~mem:s.Codegen.Swizzle_opt.mem ~dist
+            ~byte_width ~vec:s.Codegen.Swizzle_opt.vec
+        in
+        total = insts * predicted
+      in
+      check src s.Codegen.Swizzle_opt.store_wavefronts
+      && check dst s.Codegen.Swizzle_opt.load_wavefronts)
+
+let prop_swizzle_optimality_sampled =
+  (* Lemma 9.6 evidence: no randomly sampled invertible memory layout
+     beats the greedy optimal's total wavefronts at the same
+     vectorization. *)
+  QCheck.Test.make ~name:"no sampled memory layout beats the optimal swizzle" ~count:25
+    (QCheck.pair arb_layout_pair_same_warp (QCheck.make QCheck.Gen.(list_repeat 8 (int_bound 10000))))
+    (fun ((src, dst), seeds) ->
+      let byte_width = 4 in
+      let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width in
+      let measure mem =
+        try
+          Some
+            (fst
+               (Codegen.Swizzle_opt.simulate_wavefronts m ~mem ~dist:src ~byte_width
+                  ~vec:s.Codegen.Swizzle_opt.vec)
+            + fst
+                (Codegen.Swizzle_opt.simulate_wavefronts m ~mem ~dist:dst ~byte_width
+                   ~vec:s.Codegen.Swizzle_opt.vec))
+        with Invalid_argument _ -> None
+      in
+      let opt = Option.get (measure s.Codegen.Swizzle_opt.mem) in
+      let d = Layout.total_out_bits (Layout.flatten_outs src) in
+      let shape =
+        Array.of_list (List.rev_map (fun (_, b) -> 1 lsl b) (Layout.out_dims src))
+      in
+      (* Random candidate: keep the optimal's vec bits (for comparable
+         vectorization) and permute the remaining columns randomly. *)
+      List.for_all
+        (fun seed ->
+          let rest =
+            List.filter
+              (fun c -> not (List.mem c s.Codegen.Swizzle_opt.vec))
+              (List.init d (fun k -> 1 lsl k)
+              |> List.filter (fun u ->
+                     F2.Subspace.independent_from s.Codegen.Swizzle_opt.vec u))
+          in
+          let shuffled =
+            List.mapi (fun i c -> ((Hashtbl.hash (seed + (i * 31)), i), c)) rest
+            |> List.sort compare |> List.map snd
+          in
+          let cols = s.Codegen.Swizzle_opt.vec @ shuffled in
+          if F2.Subspace.dim cols < d then true
+          else
+            let mem = Shared.of_basis_columns ~shape cols in
+            match measure mem with Some w -> w >= opt | None -> true)
+        seeds)
+
+let prop_swizzle_never_worse_than_row_major =
+  QCheck.Test.make ~name:"optimal swizzle <= unswizzled wavefronts" ~count:60
+    arb_layout_pair_same_warp (fun (src, dst) ->
+      let byte_width = 4 in
+      let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width in
+      let shape =
+        Array.of_list (List.map (fun (_, b) -> 1 lsl b) (List.rev (Layout.out_dims src)))
+      in
+      let naive_mem = Shared.row_major ~shape in
+      let measure mem vec dist =
+        fst (Codegen.Swizzle_opt.simulate_wavefronts m ~mem ~dist ~byte_width ~vec)
+      in
+      let opt =
+        measure s.Codegen.Swizzle_opt.mem s.Codegen.Swizzle_opt.vec src
+        + measure s.Codegen.Swizzle_opt.mem s.Codegen.Swizzle_opt.vec dst
+      in
+      let naive = measure naive_mem [] src + measure naive_mem [] dst in
+      (* The optimal swizzle may use wider accesses, so compare total
+         wavefronts (transaction count already reflects width). *)
+      opt <= naive)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "codegen"
+    [
+      ( "simd",
+        [
+          Alcotest.test_case "vec tile" `Quick test_vec_tile;
+          Alcotest.test_case "ldmatrix match" `Quick test_ldmatrix_match;
+          Alcotest.test_case "max vector bits" `Quick test_max_vector_bits;
+          Alcotest.test_case "generalized vectorization" `Quick test_vectorizable_register_bits;
+        ] );
+      ( "shuffle",
+        [
+          Alcotest.test_case "small exchange" `Quick test_shuffle_small;
+          Alcotest.test_case "mma to blocked" `Quick test_shuffle_mma_to_blocked;
+          Alcotest.test_case "rejects cross-warp" `Quick test_shuffle_rejects_cross_warp;
+          Alcotest.test_case "identity is trivial" `Quick test_shuffle_identity_is_trivial;
+        ] );
+      ( "swizzle",
+        [
+          Alcotest.test_case "transpose f32 conflict-free" `Quick test_swizzle_transpose_f32;
+          Alcotest.test_case "beats unswizzled" `Quick test_swizzle_beats_unswizzled;
+          Alcotest.test_case "execute correct" `Quick test_swizzle_execute_correct;
+        ] );
+      ( "staging",
+        [
+          Alcotest.test_case "ldmatrix path" `Quick test_operand_staging_ldmatrix;
+          Alcotest.test_case "rejects 1-D" `Quick test_operand_staging_rejects_1d;
+        ] );
+      ( "conversion",
+        [
+          Alcotest.test_case "classification" `Quick test_conversion_classification;
+          Alcotest.test_case "execute all paths" `Quick test_conversion_execute_all_paths;
+          Alcotest.test_case "cost ordering" `Quick test_conversion_cost_ordering;
+        ] );
+      ( "gather",
+        [
+          Alcotest.test_case "plan" `Quick test_gather_plan;
+          Alcotest.test_case "execute" `Quick test_gather_execute;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_shuffle_moves_data;
+            prop_conversion_execute;
+            prop_swizzle_prediction_matches_simulation;
+            prop_swizzle_never_worse_than_row_major;
+            prop_swizzle_optimality_sampled;
+          ] );
+    ]

@@ -1,0 +1,150 @@
+(* Direct tests of individual engine decision paths: store
+   rematerialization, legacy normalization of shape ops, vectorization
+   rules, dot layout selection per vendor, conversion accounting. *)
+
+open Tir
+open Linear_layout
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let gh = Gpusim.Machine.gh200
+
+let test_store_keeps_coalesced_producer () =
+  (* A store fed by the load's own layout: no conversion, full vec. *)
+  let p = Program.create () in
+  let x = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F32 () in
+  let st = Program.store p x in
+  let r = Engine.run gh ~mode:Engine.Linear p in
+  check_int "no conversions" 0 r.Engine.converts;
+  let sl = Option.get (Program.instr p st).Program.layout in
+  let xl = Option.get (Program.instr p x).Program.layout in
+  check_bool "store reuses producer layout" true (Layout.equal sl xl)
+
+let test_store_converts_uncoalesced_producer () =
+  (* A store fed by an mma accumulator: direct stores would be
+     uncoalesced, so the engine converts to the blocked anchor. *)
+  let p = Program.create () in
+  let a = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let b = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+  let st = Program.store p d in
+  let r = Engine.run gh ~mode:Engine.Linear p in
+  let sl = Option.get (Program.instr p st).Program.layout in
+  check_bool "store uses a coalesced layout" true
+    (Layout.num_consecutive sl ~in_dim:Dims.register > 1);
+  (* Conversions: two operands + the accumulator before the store. *)
+  check_bool "3 conversions" true (r.Engine.converts >= 3)
+
+let test_legacy_normalizes_mma_transpose () =
+  (* Legacy cannot propagate a transpose through an MMA layout: it
+     must convert to blocked first (the Section 4.4 limitation). *)
+  let build () =
+    let p = Program.create () in
+    let a = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+    let b = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+    let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+    let t = Program.trans p d ~perm:[| 1; 0 |] in
+    ignore (Program.store p t);
+    p
+  in
+  let lin = Engine.run gh ~mode:Engine.Linear (build ()) in
+  let leg = Engine.run gh ~mode:Engine.Legacy_mode (build ()) in
+  check_bool "legacy pays more conversions" true (leg.Engine.converts > lin.Engine.converts);
+  check_bool "legacy slower" true (Engine.time gh leg > Engine.time gh lin)
+
+let test_vendor_dot_layouts () =
+  (* The dot anchor adapts to the vendor's tensor-core tile. *)
+  let check_machine machine expected_lanes =
+    let p = Program.create () in
+    let a = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+    let b = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+    let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+    ignore (Program.store p d);
+    ignore (Engine.run machine ~mode:Engine.Linear p);
+    let dl = Option.get (Program.instr p d).Program.layout in
+    check_int
+      (machine.Gpusim.Machine.name ^ " accumulator lanes")
+      expected_lanes
+      (Layout.in_size dl Dims.lane)
+  in
+  check_machine Gpusim.Machine.gh200 32;
+  check_machine Gpusim.Machine.mi250 64;
+  check_machine Gpusim.Machine.pvc 16
+
+let test_linear_vec_beats_legacy_vec () =
+  (* The [512,2] f8 case of Table 3, at the engine level: the linear
+     load issues fewer global instructions. *)
+  let build () =
+    let p = Program.create () in
+    let x = Program.load p ~shape:[| 512; 2 |] ~dtype:Tensor_lib.Dtype.F8E4M3 () in
+    ignore (Program.store p x);
+    p
+  in
+  let lin = Engine.run gh ~mode:Engine.Linear (build ()) in
+  let leg = Engine.run gh ~mode:Engine.Legacy_mode (build ()) in
+  check_bool "fewer global instructions" true
+    (lin.Engine.cost.Gpusim.Cost.gmem_insts < leg.Engine.cost.Gpusim.Cost.gmem_insts)
+
+let test_conversion_accounting () =
+  (* Each dot operand staged through shared memory counts one
+     local_store and one local_load, and one convert. *)
+  let p = Program.create () in
+  let a = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let b = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+  ignore d;
+  let r = Engine.run gh ~mode:Engine.Linear p in
+  check_int "loads = stores" r.Engine.local_loads r.Engine.local_stores;
+  check_bool "conversions recorded with mechanisms" true
+    (List.for_all (fun c -> c.Engine.mechanism <> "") r.Engine.conversions)
+
+let test_num_warps_respected () =
+  let p () =
+    let p = Program.create () in
+    let x = Program.load p ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F32 () in
+    ignore (Program.store p x);
+    p
+  in
+  let prog = p () in
+  ignore (Engine.run gh ~mode:Engine.Linear ~num_warps:8 prog);
+  let l = Option.get (Program.instr prog 0).Program.layout in
+  check_int "8 warps" 8 (Layout.in_size l Dims.warp);
+  let prog2 = p () in
+  ignore (Engine.run gh ~mode:Engine.Linear ~num_warps:1 prog2);
+  let l2 = Option.get (Program.instr prog2 0).Program.layout in
+  check_int "1 warp" 1 (Layout.in_size l2 Dims.warp)
+
+let test_unsupported_accumulates () =
+  (* Legacy failures accumulate rather than abort. *)
+  let p = Program.create () in
+  let a = Program.load p ~shape:[| 16; 16 |] ~dtype:Tensor_lib.Dtype.F8E4M3 () in
+  let b = Program.load p ~shape:[| 16; 16 |] ~dtype:Tensor_lib.Dtype.F8E4M3 () in
+  let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+  let s = Program.scan p d ~axis:1 ~reverse:true in
+  ignore (Program.store p s);
+  let leg = Engine.run gh ~mode:Engine.Legacy_mode p in
+  check_bool "at least two failures" true (List.length leg.Engine.unsupported >= 2)
+
+let () =
+  Alcotest.run "engine_paths"
+    [
+      ( "stores",
+        [
+          Alcotest.test_case "keeps coalesced producer" `Quick test_store_keeps_coalesced_producer;
+          Alcotest.test_case "converts uncoalesced producer" `Quick
+            test_store_converts_uncoalesced_producer;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "legacy normalizes mma transpose" `Quick
+            test_legacy_normalizes_mma_transpose;
+          Alcotest.test_case "vendor dot layouts" `Quick test_vendor_dot_layouts;
+          Alcotest.test_case "linear vec beats legacy vec" `Quick test_linear_vec_beats_legacy_vec;
+          Alcotest.test_case "unsupported accumulates" `Quick test_unsupported_accumulates;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "conversion accounting" `Quick test_conversion_accounting;
+          Alcotest.test_case "num_warps respected" `Quick test_num_warps_respected;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Shape tests for the experiment reproductions: each table/figure must
+   have the qualitative structure the paper reports (who wins, rough
+   magnitudes, crossovers), independent of cost-model constants. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Silence the experiment printers during tests. *)
+let quiet f =
+  let dev_null = open_out (Filename.null) in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+
+let module_e = ()
+let () = ignore module_e
+
+let test_table1_matches_paper () =
+  let rows = quiet Bench_support.Experiments.table1 in
+  let expected =
+    [
+      ((0, 0), (0, 0, 0)); ((0, 1), (1, 0, 0)); ((0, 2), (0, 1, 0)); ((0, 3), (1, 1, 0));
+      ((1, 0), (2, 0, 0)); ((1, 1), (3, 0, 0)); ((2, 2), (0, 9, 0)); ((2, 3), (1, 9, 0));
+      ((3, 2), (2, 9, 0)); ((3, 3), (3, 9, 0));
+    ]
+  in
+  List.iter2
+    (fun (loc, v) (loc', v') ->
+      if loc <> loc' || v <> v' then Alcotest.failf "row (%d,%d) mismatch" (fst loc) (snd loc))
+    expected rows
+
+let test_figure2_shape () =
+  let rows = quiet Bench_support.Experiments.figure2 in
+  check_bool "all speedups >= 1" true (List.for_all (fun (_, s) -> s >= 1.0) rows);
+  let _, hi = Bench_support.Report.minmax (List.map snd rows) in
+  check_bool "peak speedup in the paper's ballpark (>= 1.5x)" true (hi >= 1.5);
+  check_bool "peak below 4x (sanity)" true (hi < 4.0)
+
+let test_table3_shape () =
+  let rows = quiet Bench_support.Experiments.table3 in
+  List.iter
+    (fun (label, _, _, legacy_bits, linear_bits) ->
+      if linear_bits < legacy_bits then
+        Alcotest.failf "%s: linear (%d) worse than legacy (%d)" label linear_bits legacy_bits)
+    rows;
+  (* The narrow-tensor rows are where linear wins. *)
+  let gain =
+    List.filter (fun (_, _, _, lb, tb) -> tb > lb) rows |> List.length
+  in
+  check_bool "several rows improve" true (gain >= 4);
+  (* The [512,16] rows saturate at 128 bits on both sides. *)
+  List.iter
+    (fun (label, _, _, lb, tb) ->
+      if String.length label >= 8 && String.sub label 0 8 = "[512,16]" then begin
+        check_int (label ^ " legacy") 128 lb;
+        check_int (label ^ " linear") 128 tb
+      end)
+    rows
+
+let test_table4_support_matrix () =
+  let rows = quiet Bench_support.Experiments.table4 in
+  List.iter
+    (fun (kind, legacy_pass, total, legacy_smem, linear_smem) ->
+      let expected_fail =
+        List.mem kind [ "MMA Input"; "Sliced<MMA>"; "Sliced<MMA Input>"; "Custom" ]
+      in
+      if expected_fail then check_int (kind ^ " legacy fails") 0 legacy_pass
+      else check_int (kind ^ " legacy passes") total legacy_pass;
+      (match legacy_smem with
+      | Some l -> check_bool (kind ^ " linear uses fewer smem ops") true (linear_smem <= l)
+      | None -> ());
+      check_bool (kind ^ " linear smem positive") true (linear_smem > 0))
+    rows
+
+let test_table5_rates () =
+  let rows = quiet Bench_support.Experiments.table5 in
+  let lg, ln, total =
+    List.fold_left (fun (a, b, c) (_, l, n, t) -> (a + l, b + n, c + t)) (0, 0, 0) rows
+  in
+  check_int "linear passes everything" total ln;
+  let rate = float_of_int lg /. float_of_int total in
+  check_bool
+    (Printf.sprintf "legacy rate %.1f%% near the paper's 46.6%%" (rate *. 100.))
+    true
+    (rate > 0.30 && rate < 0.60);
+  (* The pairs the paper reports as complete failures. *)
+  List.iter
+    (fun (pair, lg, _, _) ->
+      if List.mem pair [ "i8/f16"; "i8/f32"; "i8/f64"; "i16/f8e4m3" ] then
+        check_int (pair ^ " fails entirely") 0 lg)
+    rows
+
+let test_figure6_ordering () =
+  let rows = quiet Bench_support.Experiments.figure6 in
+  check_bool "all speedups >= 1" true (List.for_all (fun (_, s) -> s >= 1.0) rows);
+  let series prefix =
+    List.filter (fun (l, _) -> String.length l >= String.length prefix
+                               && String.sub l 0 (String.length prefix) = prefix) rows
+    |> List.map snd
+  in
+  let f16 = Bench_support.Report.geomean (series "mxfp4 x f16") in
+  let bf16 = Bench_support.Report.geomean (series "mxfp4 x bf16") in
+  check_bool
+    (Printf.sprintf "f16 series (%.2f) highest, as in the paper (%.2f bf16)" f16 bf16)
+    true (f16 > bf16)
+
+let test_figure7_all_win () =
+  let rows = quiet Bench_support.Experiments.figure7 in
+  check_bool "nonempty" true (rows <> []);
+  check_bool "warp shuffles always beat padded shared memory" true
+    (List.for_all (fun (_, s) -> s > 1.0) rows)
+
+let test_figure8_crossover () =
+  let rows = quiet Bench_support.Experiments.figure8 in
+  check_bool "at least 5 points" true (List.length rows >= 5);
+  let first = snd (List.hd rows) in
+  let last = snd (List.nth rows (List.length rows - 1)) in
+  check_bool "large gain on small gather dims" true (first > 5.0);
+  check_bool "declines below 1 for large gather dims" true (last < 1.0);
+  (* Monotone decline. *)
+  let rec decreasing = function
+    | a :: b :: rest -> snd a >= snd b && decreasing (b :: rest)
+    | _ -> true
+  in
+  check_bool "monotone decline" true (decreasing rows)
+
+let test_figure9_ranges () =
+  let cases = quiet Bench_support.Experiments.figure9 in
+  check_bool "enough cases (>= 200)" true (List.length cases >= 200);
+  List.iter
+    (fun (machine, kernel, size, s) ->
+      if s < 0.90 || s > 2.5 then
+        Alcotest.failf "%s/%s@%d speedup %.2f outside sane range" machine kernel size s)
+    cases;
+  let geo machine =
+    Bench_support.Report.geomean
+      (List.filter_map (fun (m, _, _, s) -> if m = machine then Some s else None) cases)
+  in
+  List.iter
+    (fun m ->
+      let g = geo m in
+      check_bool
+        (Printf.sprintf "%s geomean %.2f in the paper's range" m g)
+        true
+        (g >= 1.0 && g <= 1.25))
+    [ "RTX4090"; "GH200"; "MI250" ];
+  (* GH200 (ldmatrix + stmatrix + wgmma) gains the most, as in the paper. *)
+  check_bool "GH200 >= MI250" true (geo "GH200" >= geo "MI250")
+
+let test_table6_distribution () =
+  let rows = quiet Bench_support.Experiments.table6 in
+  let find name = List.find (fun (n, _, _, _) -> n = name) rows in
+  let _, l, s, c = find "gemm" in
+  check_bool "gemm uses shared memory and conversions" true (l > 0 && s > 0 && c > 0);
+  let _, l2, s2, c2 = find "vector_add" in
+  check_int "vector_add local_load" 0 l2;
+  check_int "vector_add local_store" 0 s2;
+  check_int "vector_add convert" 0 c2;
+  (* welford's conversions fold away in linear mode. *)
+  let _, _, _, cw = find "welford" in
+  let _, _, _, ca = find "template_attention" in
+  check_bool "attention converts more than welford" true (ca > cw)
+
+let test_ablation_optimal_wins () =
+  let rows = quiet Bench_support.Experiments.ablation_swizzle in
+  (* Group by workload: the optimal strategy must have the minimum
+     wavefronts in each group. *)
+  let workloads =
+    List.sort_uniq compare
+      (List.map (fun (l, _) -> List.hd (String.split_on_char '/' l)) rows)
+  in
+  List.iter
+    (fun w ->
+      let group = List.filter (fun (l, _) -> List.hd (String.split_on_char '/' l) = w) rows in
+      let opt =
+        List.find
+          (fun (l, _) ->
+            String.length l >= 8 && String.sub l (String.length l - 8) 8 = "Sec 5.4)")
+          group
+      in
+      List.iter
+        (fun (l, v) ->
+          if v < snd opt then Alcotest.failf "%s beats optimal (%f < %f)" l v (snd opt))
+        group)
+    workloads
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table 1 matches paper" `Quick test_table1_matches_paper;
+          Alcotest.test_case "table 3 shape" `Quick test_table3_shape;
+          Alcotest.test_case "table 4 support matrix" `Quick test_table4_support_matrix;
+          Alcotest.test_case "table 5 pass rates" `Quick test_table5_rates;
+          Alcotest.test_case "table 6 distribution" `Quick test_table6_distribution;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 2 shape" `Quick test_figure2_shape;
+          Alcotest.test_case "figure 6 ordering" `Quick test_figure6_ordering;
+          Alcotest.test_case "figure 7 all win" `Quick test_figure7_all_win;
+          Alcotest.test_case "figure 8 crossover" `Quick test_figure8_crossover;
+          Alcotest.test_case "figure 9 ranges" `Quick test_figure9_ranges;
+        ] );
+      ( "ablations",
+        [ Alcotest.test_case "optimal swizzle wins" `Quick test_ablation_optimal_wins ] );
+    ]

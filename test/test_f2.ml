@@ -1,0 +1,230 @@
+(* Tests for the F2 linear-algebra substrate. *)
+
+open F2
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Bitvec} *)
+
+let test_bitvec_basics () =
+  check_int "unit 3" 8 (Bitvec.unit 3);
+  check_bool "bit" true (Bitvec.bit 0b1010 1);
+  check_bool "bit" false (Bitvec.bit 0b1010 0);
+  check_int "add" 0b0110 (Bitvec.add 0b1010 0b1100);
+  check_int "popcount" 3 (Bitvec.popcount 0b1011);
+  check_bool "dot" true (Bitvec.dot 0b1011 0b0001);
+  check_bool "dot even" false (Bitvec.dot 0b1011 0b0011);
+  check_int "msb" 3 (Bitvec.msb 0b1010);
+  check_int "msb zero" (-1) (Bitvec.msb 0);
+  check_int "lsb" 1 (Bitvec.lsb 0b1010);
+  check_int "width" 4 (Bitvec.width 0b1010);
+  Alcotest.(check (list int)) "support" [ 0; 2; 3 ] (Bitvec.support 0b1101)
+
+let test_bitvec_fields () =
+  check_int "extract" 0b101 (Bitvec.extract 0b11010 ~pos:1 ~len:3);
+  check_int "insert" 0b10110 (Bitvec.insert 0b10000 ~pos:1 ~len:3 0b011);
+  check_int "all length" 8 (List.length (Bitvec.all 3));
+  Alcotest.(check string) "to_string" "0101" (Bitvec.to_string ~width:4 0b101)
+
+(* {1 Bitmatrix} *)
+
+let m rows cols = Bitmatrix.make ~rows (Array.of_list cols)
+
+let test_matrix_apply () =
+  (* The paper's Section 4.1 running example: layout A as an 8x8 matrix.
+     Columns (flattened output, j in low 4 bits, i in high 4 bits):
+     reg0 -> j bit0; reg1 -> i bit0; thr0 -> j bit1; thr1 -> j bit2;
+     thr2 -> j bit3; thr3 -> i bit1; thr4 -> i bit2; wrp0 -> i bit3. *)
+  let a =
+    m 8 [ 0b00000001; 0b00010000; 0b00000010; 0b00000100; 0b00001000; 0b00100000;
+          0b01000000; 0b10000000 ]
+  in
+  (* Register r1 (0b01) in thread t9 (0b01001) of warp w0: input vector
+     reg bits 0-1, thr bits 2-6, wrp bit 7. *)
+  let v = 0b0_01001_01 in
+  let w = Bitmatrix.apply a v in
+  check_int "j = 3" 3 (Bitvec.extract w ~pos:0 ~len:4);
+  check_int "i = 2" 2 (Bitvec.extract w ~pos:4 ~len:4);
+  check_bool "invertible" true (Bitmatrix.is_invertible a);
+  let ai = Bitmatrix.inverse a in
+  check_int "roundtrip" v (Bitmatrix.apply ai w)
+
+let test_matrix_mul () =
+  let a = m 2 [ 0b01; 0b11 ] in
+  let b = m 2 [ 0b10; 0b01 ] in
+  let ab = Bitmatrix.mul a b in
+  (* column 0 of ab = a * e1 = [1;1]; column 1 = a * e0 = [1;0] *)
+  check_int "col0" 0b11 (Bitmatrix.column ab 0);
+  check_int "col1" 0b01 (Bitmatrix.column ab 1);
+  let i = Bitmatrix.identity 3 in
+  check_bool "id*id" true (Bitmatrix.is_identity (Bitmatrix.mul i i))
+
+let test_matrix_rank () =
+  check_int "rank id" 4 (Bitmatrix.rank (Bitmatrix.identity 4));
+  check_int "rank dup" 1 (Bitmatrix.rank (m 2 [ 0b01; 0b01; 0b01 ]));
+  check_int "rank zero" 0 (Bitmatrix.rank (Bitmatrix.zero ~rows:3 ~cols:2));
+  check_bool "surjective" true (Bitmatrix.is_surjective (m 2 [ 0b01; 0b11; 0b10 ]));
+  check_bool "not injective" false (Bitmatrix.is_injective (m 2 [ 0b01; 0b11; 0b10 ]))
+
+let test_matrix_solve () =
+  let a = m 3 [ 0b011; 0b101; 0b110 ] in
+  (* Columns sum to 0, so rank is 2 and the kernel is {e0+e1+e2}. *)
+  check_int "rank" 2 (Bitmatrix.rank a);
+  (match Bitmatrix.solve a 0b110 with
+  | Some x -> check_int "solution maps back" 0b110 (Bitmatrix.apply a x)
+  | None -> Alcotest.fail "expected a solution");
+  (match Bitmatrix.solve a 0b111 with
+  | Some _ -> Alcotest.fail "0b111 is not in the image"
+  | None -> ());
+  Alcotest.(check (list int)) "kernel" [ 0b111 ] (Bitmatrix.kernel a)
+
+let test_right_inverse () =
+  (* A surjective 2x3 map. *)
+  let a = m 2 [ 0b01; 0b11; 0b10 ] in
+  let x = Bitmatrix.right_inverse a in
+  check_bool "a x = id" true (Bitmatrix.is_identity (Bitmatrix.mul a x))
+
+let test_block_diag_divide () =
+  let a = m 2 [ 0b01; 0b11 ] in
+  let b = m 3 [ 0b100; 0b010; 0b001 ] in
+  let ab = Bitmatrix.block_diag a b in
+  check_int "rows" 5 (Bitmatrix.rows ab);
+  check_int "cols" 5 (Bitmatrix.cols ab);
+  (match Bitmatrix.divide_left ab a with
+  | Some q -> check_bool "quotient" true (Bitmatrix.equal q b)
+  | None -> Alcotest.fail "division should succeed");
+  (* Division by a mismatched tile fails. *)
+  let bad = m 2 [ 0b10; 0b11 ] in
+  check_bool "mismatch" true (Bitmatrix.divide_left ab bad = None)
+
+let test_permutation () =
+  check_bool "id is perm" true (Bitmatrix.is_permutation (Bitmatrix.identity 4));
+  check_bool "zero col ok" true (Bitmatrix.is_permutation (m 2 [ 0b01; 0b00; 0b10 ]));
+  check_bool "dup col not" false (Bitmatrix.is_permutation (m 2 [ 0b01; 0b01 ]));
+  check_bool "two bits not" false (Bitmatrix.is_permutation (m 2 [ 0b11 ]))
+
+(* {1 Subspace} *)
+
+let test_subspace_basis () =
+  let b = Subspace.echelon_basis [ 0b110; 0b011; 0b101 ] in
+  check_int "dim" 2 (List.length b);
+  check_bool "mem" true (Subspace.mem b 0b101);
+  check_bool "not mem" false (Subspace.mem b 0b001);
+  check_int "dim fn" 2 (Subspace.dim [ 0b110; 0b011; 0b101 ])
+
+let test_subspace_complete () =
+  let ext = Subspace.complete_basis ~dim:4 [ 0b0011; 0b0110 ] in
+  check_int "extension size" 2 (List.length ext);
+  check_int "full dim" 4 (Subspace.dim (0b0011 :: 0b0110 :: ext))
+
+let test_subspace_intersection () =
+  let a = [ 0b001; 0b010 ] and b = [ 0b010; 0b100 ] in
+  let i = Subspace.intersection a b in
+  check_int "dim 1" 1 (List.length i);
+  check_bool "is e1" true (Subspace.mem [ 0b010 ] (List.hd i));
+  (* Trivial intersection. *)
+  check_int "trivial" 0 (List.length (Subspace.intersection [ 0b001 ] [ 0b010 ]));
+  (* Non-axis-aligned intersection: span{e0+e1, e2} and span{e0+e1+e2}
+     intersect trivially; span{e0+e1,e2} and span{e0+e1} in dim 1. *)
+  check_int "skew" 1 (List.length (Subspace.intersection [ 0b011; 0b100 ] [ 0b111 ]))
+
+let test_subspace_span_elements () =
+  let elems = Subspace.span_elements [ 0b011; 0b101 ] in
+  Alcotest.(check (list int)) "span" [ 0b000; 0b011; 0b101; 0b110 ]
+    (Array.to_list elems |> List.sort compare)
+
+(* {1 Properties} *)
+
+let gen_matrix =
+  QCheck.Gen.(
+    let* rows = int_range 1 8 in
+    let* cols = int_range 1 8 in
+    let* data = list_repeat cols (int_bound ((1 lsl rows) - 1)) in
+    return (Bitmatrix.make ~rows (Array.of_list data)))
+
+let arb_matrix = QCheck.make gen_matrix ~print:(Format.asprintf "%a" Bitmatrix.pp)
+
+let prop_solve_consistent =
+  QCheck.Test.make ~name:"solve returns a valid preimage" ~count:500 arb_matrix (fun a ->
+      let b = Bitmatrix.apply a ((1 lsl Bitmatrix.cols a) - 1) in
+      match Bitmatrix.solve a b with
+      | Some x -> Bitmatrix.apply a x = b
+      | None -> false)
+
+let prop_right_inverse =
+  QCheck.Test.make ~name:"right inverse of surjective maps" ~count:500 arb_matrix (fun a ->
+      QCheck.assume (Bitmatrix.is_surjective a);
+      Bitmatrix.is_identity (Bitmatrix.mul a (Bitmatrix.right_inverse a)))
+
+let prop_kernel =
+  QCheck.Test.make ~name:"kernel vectors map to zero" ~count:500 arb_matrix (fun a ->
+      List.for_all (fun k -> Bitmatrix.apply a k = 0) (Bitmatrix.kernel a))
+
+let prop_rank_nullity =
+  QCheck.Test.make ~name:"rank-nullity" ~count:500 arb_matrix (fun a ->
+      Bitmatrix.rank a + List.length (Bitmatrix.kernel a) = Bitmatrix.cols a)
+
+let prop_block_diag_divide =
+  QCheck.Test.make ~name:"(a x b) /l a = b" ~count:500
+    (QCheck.pair arb_matrix arb_matrix) (fun (a, b) ->
+      match Bitmatrix.divide_left (Bitmatrix.block_diag a b) a with
+      | Some q -> Bitmatrix.equal q b
+      | None -> false)
+
+let prop_intersection_dim =
+  let gen_basis = QCheck.Gen.(list_size (int_range 0 4) (int_range 1 63)) in
+  QCheck.Test.make ~name:"dim(U) + dim(V) = dim(U+V) + dim(U and V)" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_basis gen_basis))
+    (fun (a, b) ->
+      let da = Subspace.dim a and db = Subspace.dim b in
+      let ds = Subspace.dim (a @ b) in
+      let di = List.length (Subspace.intersection a b) in
+      da + db = ds + di)
+
+let prop_intersection_members =
+  let gen_basis = QCheck.Gen.(list_size (int_range 0 4) (int_range 1 63)) in
+  QCheck.Test.make ~name:"intersection vectors lie in both spans" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_basis gen_basis))
+    (fun (a, b) ->
+      Subspace.intersection a b
+      |> List.for_all (fun v -> Subspace.mem a v && Subspace.mem b v))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "f2"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "basics" `Quick test_bitvec_basics;
+          Alcotest.test_case "fields" `Quick test_bitvec_fields;
+        ] );
+      ( "bitmatrix",
+        [
+          Alcotest.test_case "apply (paper layout A)" `Quick test_matrix_apply;
+          Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "rank" `Quick test_matrix_rank;
+          Alcotest.test_case "solve" `Quick test_matrix_solve;
+          Alcotest.test_case "right inverse" `Quick test_right_inverse;
+          Alcotest.test_case "block diag / divide" `Quick test_block_diag_divide;
+          Alcotest.test_case "permutation predicate" `Quick test_permutation;
+        ] );
+      ( "subspace",
+        [
+          Alcotest.test_case "echelon basis" `Quick test_subspace_basis;
+          Alcotest.test_case "complete basis" `Quick test_subspace_complete;
+          Alcotest.test_case "intersection" `Quick test_subspace_intersection;
+          Alcotest.test_case "span elements" `Quick test_subspace_span_elements;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_solve_consistent;
+            prop_right_inverse;
+            prop_kernel;
+            prop_rank_nullity;
+            prop_block_diag_divide;
+            prop_intersection_dim;
+            prop_intersection_members;
+          ] );
+    ]

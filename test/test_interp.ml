@@ -1,0 +1,132 @@
+(* End-to-end functional tests: every kernel evaluated through the
+   layouts the engine assigns must agree exactly with the plain
+   reference evaluator. *)
+
+open Tir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let m = Gpusim.Machine.gh200
+
+let agree ?(machine = m) name prog =
+  let inputs = Interp.synth_inputs prog in
+  let ref_outs = Interp.reference prog ~inputs in
+  let lay_outs = Interp.through_layouts machine prog ~inputs in
+  if List.length ref_outs <> List.length lay_outs then
+    Alcotest.failf "%s: different number of outputs" name;
+  List.iter2
+    (fun (i, r) (j, l) ->
+      if i <> j then Alcotest.failf "%s: output order differs" name;
+      let d = Tensor_lib.Tensor.max_abs_diff r l in
+      if d <> 0. then Alcotest.failf "%s: output %%%d differs by %g" name i d)
+    ref_outs lay_outs
+
+let test_simple_pipeline () =
+  let p = Program.create () in
+  let x = Program.load p ~name:"x" ~shape:[| 32; 64 |] ~dtype:Tensor_lib.Dtype.F32 () in
+  let y = Program.elementwise p ~name:"exp" [ x ] in
+  let s = Program.reduce p y ~axis:1 in
+  let sb = Program.broadcast p (Program.expand_dims p s ~axis:1) ~shape:[| 32; 64 |] in
+  let z = Program.elementwise p ~name:"div" [ y; sb ] in
+  ignore (Program.store p z);
+  agree "softmax-like" p
+
+let test_dot_through_tensor_cores () =
+  let p = Program.create () in
+  let a = Program.load p ~name:"a" ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let b = Program.load p ~name:"b" ~shape:[| 64; 64 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+  ignore (Program.store p d);
+  (* The layout path must actually take the tensor-core route. *)
+  ignore (Engine.run m ~mode:Engine.Linear p);
+  let la = Option.get (Program.instr p a).Program.layout in
+  check_bool "operand got an mma layout" true
+    (Linear_layout.Layout.in_size la Linear_layout.Dims.warp > 1
+    || Linear_layout.Layout.free_variable_masks la <> []);
+  agree "dot" p
+
+let test_small_dot_fallback () =
+  let p = Program.create () in
+  let a = Program.load p ~name:"a" ~shape:[| 16; 16 |] ~dtype:Tensor_lib.Dtype.F8E4M3 () in
+  let b = Program.load p ~name:"b" ~shape:[| 16; 16 |] ~dtype:Tensor_lib.Dtype.F8E4M3 () in
+  let d = Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32 in
+  ignore (Program.store p d);
+  agree "small dot (blocked fallback)" p
+
+let test_gather_through_layouts () =
+  let p = Program.create () in
+  let src = Program.load p ~name:"t" ~shape:[| 16; 2048 |] ~dtype:Tensor_lib.Dtype.F16 () in
+  let idx = Program.load p ~name:"i" ~shape:[| 16; 2048 |] ~dtype:Tensor_lib.Dtype.I32 () in
+  let g = Program.gather p ~src ~index:idx ~axis:0 in
+  ignore (Program.store p g);
+  agree "gather" p
+
+let test_scan_and_shapes () =
+  let p = Program.create () in
+  let x = Program.load p ~name:"x" ~shape:[| 16; 64 |] ~dtype:Tensor_lib.Dtype.F32 () in
+  let t = Program.trans p x ~perm:[| 1; 0 |] in
+  let r = Program.reshape p t ~shape:[| 32; 32 |] in
+  let s = Program.scan p r ~axis:1 ~reverse:true in
+  let j = Program.join p ~a:s ~b:s in
+  let h = Program.split p j ~half:1 in
+  ignore (Program.store p h);
+  agree "shape ops + reverse scan" p
+
+let test_all_kernels_agree () =
+  List.iter
+    (fun k ->
+      let prog = k.Kernels.build ~size:(List.hd k.Kernels.sizes) in
+      agree k.Kernels.name prog)
+    Kernels.all
+
+let test_kernels_agree_on_intel () =
+  (* 16-lane subgroups and XMX accumulators: functional results are
+     unchanged — the out-of-tree backend case. *)
+  List.iter
+    (fun name ->
+      let k = Kernels.find name in
+      agree ~machine:Gpusim.Machine.pvc name (k.Kernels.build ~size:(List.hd k.Kernels.sizes)))
+    [ "gemm"; "softmax"; "welford" ]
+
+let test_kernels_agree_on_amd () =
+  (* 64-lane warps: same functional results. *)
+  List.iter
+    (fun name ->
+      let k = Kernels.find name in
+      agree ~machine:Gpusim.Machine.mi250 name (k.Kernels.build ~size:(List.hd k.Kernels.sizes)))
+    [ "gemm"; "softmax"; "welford"; "embedding" ]
+
+let test_missing_input_fails () =
+  let p = Program.create () in
+  let x = Program.load p ~name:"x" ~shape:[| 4; 4 |] ~dtype:Tensor_lib.Dtype.F32 () in
+  ignore (Program.store p x);
+  match Interp.reference p ~inputs:[] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing input must fail"
+
+let test_outputs_count () =
+  let k = Kernels.find "grouped_gemm" in
+  let prog = k.Kernels.build ~size:512 in
+  let outs = Interp.reference prog ~inputs:(Interp.synth_inputs prog) in
+  check_int "two stores" 2 (List.length outs)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "softmax-like pipeline" `Quick test_simple_pipeline;
+          Alcotest.test_case "dot via tensor cores" `Quick test_dot_through_tensor_cores;
+          Alcotest.test_case "small dot fallback" `Quick test_small_dot_fallback;
+          Alcotest.test_case "gather" `Quick test_gather_through_layouts;
+          Alcotest.test_case "shape ops + reverse scan" `Quick test_scan_and_shapes;
+          Alcotest.test_case "missing input fails" `Quick test_missing_input_fails;
+          Alcotest.test_case "outputs count" `Quick test_outputs_count;
+        ] );
+      ( "kernel suite",
+        [
+          Alcotest.test_case "all kernels agree (GH200)" `Quick test_all_kernels_agree;
+          Alcotest.test_case "kernels agree on MI250" `Quick test_kernels_agree_on_amd;
+          Alcotest.test_case "kernels agree on PVC (Intel)" `Quick test_kernels_agree_on_intel;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Property tests for the algebraic laws of the layout algebra —
+   the categorical structure Section 4.2 relies on. *)
+
+open Linear_layout
+
+(* Random small invertible layouts over a fixed labeled space, built
+   from a random permutation of basis columns. *)
+let gen_permutation_layout ~ins ~outs =
+  QCheck.Gen.(
+    let total = List.fold_left (fun a (_, b) -> a + b) 0 ins in
+    let* perm =
+      (* Fisher-Yates over [0..total-1] using generated swaps. *)
+      let* swaps = list_repeat total (int_bound (total - 1)) in
+      let a = Array.init total Fun.id in
+      List.iteri
+        (fun i j ->
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t)
+        swaps;
+      return a
+    in
+    let cols = Array.map (fun p -> 1 lsl p) perm in
+    return (Layout.of_matrix ~ins ~outs (F2.Bitmatrix.make ~rows:total cols)))
+
+let space = [ (Dims.register, 2); (Dims.lane, 3); (Dims.warp, 1) ]
+let out_space = [ (Dims.dim 0, 3); (Dims.dim 1, 3) ]
+
+let arb_perm =
+  QCheck.make (gen_permutation_layout ~ins:space ~outs:out_space) ~print:Layout.to_string
+
+let arb_endo =
+  (* hardware -> hardware permutations, composable on both sides *)
+  QCheck.make (gen_permutation_layout ~ins:space ~outs:space) ~print:Layout.to_string
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"compose is associative" ~count:200
+    (QCheck.triple arb_perm arb_endo arb_endo)
+    (fun (h, g, f) ->
+      let left = Layout.compose (Layout.compose h g) f in
+      let right = Layout.compose h (Layout.compose g f) in
+      Layout.equal left right)
+
+let prop_compose_identity =
+  QCheck.Test.make ~name:"identity is neutral for compose" ~count:200 arb_endo (fun f ->
+      let id =
+        List.fold_left
+          (fun acc (d, bits) -> Layout.mul acc (Layout.identity1d bits ~in_dim:d ~out_dim:d))
+          Layout.empty space
+      in
+      Layout.equal (Layout.compose f id) f)
+
+let prop_compose_matches_matrix_product =
+  QCheck.Test.make ~name:"compose = matrix product (Def 4.2)" ~count:200
+    (QCheck.pair arb_perm arb_endo)
+    (fun (g, f) ->
+      let c = Layout.compose g f in
+      F2.Bitmatrix.equal (Layout.to_matrix c)
+        (F2.Bitmatrix.mul (Layout.to_matrix g) (Layout.to_matrix f)))
+
+let prop_mul_block_diagonal =
+  (* Product of layouts on disjoint labels = block-diagonal matrix
+     (Definition 4.3). *)
+  QCheck.Test.make ~name:"product on disjoint labels is block diagonal" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 1 3)))
+    (fun (ka, kb) ->
+      let a = Layout.identity1d ka ~in_dim:Dims.register ~out_dim:(Dims.dim 1) in
+      let b = Layout.identity1d kb ~in_dim:Dims.lane ~out_dim:(Dims.dim 0) in
+      let prod = Layout.mul a b in
+      (* dim1 (fastest) occupies the low rows; register the low cols. *)
+      F2.Bitmatrix.equal (Layout.to_matrix prod)
+        (F2.Bitmatrix.block_diag (Layout.to_matrix a) (Layout.to_matrix b)))
+
+let prop_invert_unique =
+  QCheck.Test.make ~name:"inverse inverts on both sides" ~count:200 arb_perm (fun l ->
+      let li = Layout.invert l in
+      F2.Bitmatrix.is_identity (Layout.to_matrix (Layout.compose li l))
+      && F2.Bitmatrix.is_identity (Layout.to_matrix (Layout.compose l li)))
+
+let prop_double_invert =
+  QCheck.Test.make ~name:"invert is an involution" ~count:200 arb_perm (fun l ->
+      Layout.equal (Layout.invert (Layout.invert l)) l)
+
+let prop_flatten_reshape_roundtrip =
+  QCheck.Test.make ~name:"reshape_outs (flatten_outs l) = l" ~count:200 arb_perm (fun l ->
+      Layout.equal (Layout.reshape_outs (Layout.flatten_outs l) (Layout.out_dims l)) l)
+
+let prop_exchange_involution =
+  QCheck.Test.make ~name:"transposing twice is the identity" ~count:200 arb_perm (fun l ->
+      let spec = [ (Dims.dim 0, Dims.dim 1); (Dims.dim 1, Dims.dim 0) ] in
+      Layout.equal (Layout.exchange_out_names (Layout.exchange_out_names l spec) spec) l)
+
+let prop_pseudo_invert_idempotent_projector =
+  (* B o B^+ is a projector on the logical space: applying it twice
+     equals applying it once. *)
+  let arb = QCheck.make (gen_permutation_layout ~ins:space ~outs:out_space) in
+  QCheck.Test.make ~name:"l o pseudo_invert l is a projector" ~count:200 arb (fun l ->
+      (* Make it non-injective by forgetting a register bit. *)
+      let l = Layout.resize_in l Dims.register 3 in
+      let p = Layout.compose l (Layout.pseudo_invert l) in
+      F2.Bitmatrix.equal
+        (Layout.to_matrix (Layout.compose p p))
+        (Layout.to_matrix p))
+
+let prop_divide_left_recovers =
+  QCheck.Test.make ~name:"(t x q) /l t = q (Def 4.4)" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1 2) (int_range 1 2)))
+    (fun (kt, kq) ->
+      let t = Layout.identity1d kt ~in_dim:Dims.register ~out_dim:Dims.offset in
+      let q = Layout.identity1d kq ~in_dim:Dims.lane ~out_dim:Dims.offset in
+      let l = Layout.mul t q in
+      match Layout.divide_left l t with
+      | Some q' -> Layout.equivalent q' q
+      | None -> false)
+
+let prop_slice_then_free_bits =
+  (* Slicing away a dimension frees exactly the bits that mapped to it. *)
+  QCheck.Test.make ~name:"slicing frees the removed dimension's bits" ~count:200 arb_perm
+    (fun l ->
+      let sliced = Sliced.make l ~dim:1 in
+      let freed =
+        Layout.free_variable_masks sliced
+        |> List.fold_left (fun acc (_, m) -> acc + F2.Bitvec.popcount m) 0
+      in
+      freed = Layout.out_bits l (Dims.dim 1))
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"Parse.of_string (Parse.to_string l) = l" ~count:200 arb_perm
+    (fun l ->
+      match Parse.of_string (Parse.to_string l) with
+      | Ok l' -> Layout.equal l' l
+      | Error _ -> false)
+
+let prop_kernel_dimension =
+  QCheck.Test.make ~name:"dim ker + rank = total in bits" ~count:200 arb_perm (fun l ->
+      let l = Layout.resize_in l Dims.warp 3 (* add broadcast bits *) in
+      let m = Layout.to_matrix l in
+      List.length (Layout.kernel l) + F2.Bitmatrix.rank m = Layout.total_in_bits l)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "laws"
+    [
+      ( "category",
+        q
+          [
+            prop_compose_assoc;
+            prop_compose_identity;
+            prop_compose_matches_matrix_product;
+            prop_mul_block_diagonal;
+          ] );
+      ( "inverses",
+        q
+          [
+            prop_invert_unique;
+            prop_double_invert;
+            prop_pseudo_invert_idempotent_projector;
+            prop_divide_left_recovers;
+          ] );
+      ( "structure",
+        q
+          [
+            prop_flatten_reshape_roundtrip;
+            prop_exchange_involution;
+            prop_slice_then_free_bits;
+            prop_kernel_dimension;
+            prop_parse_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the generic mma lowering: the warp-ownership condition of
+   Proposition 9.2 and dot execution through layouts. *)
+
+open Linear_layout
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let triple ~warps ~m ~n ~k ~bitwidth =
+  ( Mma.output ~bitwidth:32 ~warps ~shape:[| m; n |] (),
+    Mma.operand ~idx:0 ~bitwidth ~warps ~shape:[| m; k |] (),
+    Mma.operand ~idx:1 ~bitwidth ~warps ~shape:[| k; n |] () )
+
+let test_ownership_holds_for_operand_layouts () =
+  List.iter
+    (fun (warps, m, n, k, bw) ->
+      let out, lhs, rhs = triple ~warps ~m ~n ~k ~bitwidth:bw in
+      match Codegen.Mma_lower.check_ownership ~out ~lhs ~rhs with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "warps=[%d,%d] %dx%dx%d bw=%d: warp %d missing %s" warps.(0)
+            warps.(1) m n k bw v.Codegen.Mma_lower.warp v.Codegen.Mma_lower.missing)
+    [
+      ([| 1; 1 |], 16, 16, 16, 16);
+      ([| 2; 1 |], 32, 32, 32, 16);
+      ([| 4; 1 |], 64, 64, 64, 16);
+      ([| 2; 2 |], 32, 32, 64, 16);
+      ([| 2; 2 |], 64, 32, 32, 8);
+      ([| 1; 4 |], 16, 64, 32, 32);
+    ]
+
+let test_ownership_fails_for_naive_blocked () =
+  (* Blocked operands distribute rows of A across warps the same way as
+     C, but distribute B by rows too — warps owning C columns they
+     don't hold B columns for. *)
+  let out = Mma.output ~bitwidth:32 ~warps:[| 1; 4 |] ~shape:[| 32; 64 |] () in
+  let lhs = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 [| 32; 32 |] in
+  let rhs = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 [| 32; 64 |] in
+  match Codegen.Mma_lower.check_ownership ~out ~lhs ~rhs with
+  | Ok () -> Alcotest.fail "naive blocked operands must violate warp ownership"
+  | Error _ -> ()
+
+let test_execute_dot_matches_reference () =
+  let m, n, k = (32, 32, 32) in
+  let out, lhs, rhs = triple ~warps:[| 2; 1 |] ~m ~n ~k ~bitwidth:16 in
+  (* Integer payloads make the check exact. *)
+  let a_val i kk = ((i * 3) + kk) mod 7 in
+  let b_val kk j = ((kk * 5) + (2 * j)) mod 9 in
+  let a = Gpusim.Dist.init lhs ~f:(fun logical -> a_val (logical / k) (logical mod k)) in
+  let b = Gpusim.Dist.init rhs ~f:(fun logical -> b_val (logical / n) (logical mod n)) in
+  let c = Codegen.Mma_lower.execute_dot ~out a b ~mul:( * ) ~add:( + ) ~zero:0 in
+  let expected logical =
+    let i = logical / n and j = logical mod n in
+    let acc = ref 0 in
+    for kk = 0 to k - 1 do
+      acc := !acc + (a_val i kk * b_val kk j)
+    done;
+    !acc
+  in
+  check_bool "dot through layouts equals reference" true
+    (Gpusim.Dist.consistent_with c ~f:expected)
+
+let test_execute_dot_rejects_bad_layouts () =
+  let out = Mma.output ~bitwidth:32 ~warps:[| 1; 4 |] ~shape:[| 32; 64 |] () in
+  let lhs = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 [| 32; 32 |] in
+  let rhs = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 [| 32; 64 |] in
+  let a = Gpusim.Dist.init lhs ~f:Fun.id in
+  let b = Gpusim.Dist.init rhs ~f:Fun.id in
+  match Codegen.Mma_lower.execute_dot ~out a b ~mul:( * ) ~add:( + ) ~zero:0 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "must reject layouts violating warp ownership"
+
+let test_instruction_count () =
+  let out, lhs, _ = triple ~warps:[| 2; 1 |] ~m:32 ~n:32 ~k:32 ~bitwidth:16 in
+  (* 2 warps, each owning a 16x32 slab = 4 m16n8 tiles, k covered in
+     two 16-deep steps. *)
+  check_int "mma count" (2 * 4 * 2)
+    (Codegen.Mma_lower.mma_instructions ~out ~lhs ~bitwidth:16)
+
+let prop_operand_triples_always_own =
+  let gen =
+    QCheck.Gen.(
+      let* wm = oneofl [ 1; 2; 4 ] in
+      let* wn = oneofl [ 1; 2 ] in
+      let* m = oneofl [ 32; 64 ] and* n = oneofl [ 32; 64 ] and* k = oneofl [ 32; 64 ] in
+      let* bw = oneofl [ 8; 16; 32 ] in
+      return ([| wm; wn |], m, n, k, bw))
+  in
+  QCheck.Test.make ~count:60 ~name:"operand layouts always satisfy warp ownership"
+    (QCheck.make gen ~print:(fun (w, m, n, k, bw) ->
+         Printf.sprintf "warps=[%d,%d] %dx%dx%d bw=%d" w.(0) w.(1) m n k bw))
+    (fun (warps, m, n, k, bw) ->
+      QCheck.assume (k >= 256 / bw && n >= 16 && m >= 16);
+      let out, lhs, rhs = triple ~warps ~m ~n ~k ~bitwidth:bw in
+      Codegen.Mma_lower.check_ownership ~out ~lhs ~rhs = Ok ())
+
+let prop_dot_correct =
+  let gen =
+    QCheck.Gen.(
+      let* wm = oneofl [ 1; 2 ] in
+      let* m = oneofl [ 16; 32 ] and* n = oneofl [ 16; 32 ] and* k = oneofl [ 16; 32 ] in
+      return ([| wm; 1 |], m, n, k))
+  in
+  QCheck.Test.make ~count:30 ~name:"execute_dot equals reference matmul"
+    (QCheck.make gen ~print:(fun (w, m, n, k) ->
+         Printf.sprintf "warps=[%d,%d] %dx%dx%d" w.(0) w.(1) m n k))
+    (fun (warps, m, n, k) ->
+      let out, lhs, rhs = triple ~warps ~m ~n ~k ~bitwidth:16 in
+      let a = Gpusim.Dist.init lhs ~f:(fun x -> (x mod 11) - 5) in
+      let b = Gpusim.Dist.init rhs ~f:(fun x -> (x mod 13) - 6) in
+      let c = Codegen.Mma_lower.execute_dot ~out a b ~mul:( * ) ~add:( + ) ~zero:0 in
+      let ta = Result.get_ok (Gpusim.Dist.to_logical a) in
+      let tb = Result.get_ok (Gpusim.Dist.to_logical b) in
+      Gpusim.Dist.consistent_with c ~f:(fun logical ->
+          let i = logical / n and j = logical mod n in
+          let acc = ref 0 in
+          for kk = 0 to k - 1 do
+            acc := !acc + (ta.((i * k) + kk) * tb.((kk * n) + j))
+          done;
+          !acc))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mma_lower"
+    [
+      ( "ownership",
+        [
+          Alcotest.test_case "operand layouts own their fragments" `Quick
+            test_ownership_holds_for_operand_layouts;
+          Alcotest.test_case "naive blocked violates" `Quick test_ownership_fails_for_naive_blocked;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "matches reference" `Quick test_execute_dot_matches_reference;
+          Alcotest.test_case "rejects bad layouts" `Quick test_execute_dot_rejects_bad_layouts;
+          Alcotest.test_case "instruction count" `Quick test_instruction_count;
+        ] );
+      ("properties", q [ prop_operand_triples_always_own; prop_dot_correct ]);
+    ]

@@ -1,0 +1,79 @@
+(* Tests for the reporting helpers used by the benchmark harness. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let capture f =
+  let tmp = Filename.temp_file "report" ".txt" in
+  let oc = open_out tmp in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel oc) Unix.stdout;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out oc);
+  let ic = open_in tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_table_alignment () =
+  let out =
+    capture (fun () ->
+        Bench_support.Report.table ~title:"t"
+          ~headers:[ "a"; "long-header" ]
+          [ [ "xxxx"; "1" ]; [ "y"; "22" ] ])
+  in
+  check_bool "title" true (contains out "-- t --");
+  check_bool "header" true (contains out "long-header");
+  (* Every data row has the same width up to trailing spaces. *)
+  let lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> l <> "" && not (contains l "--"))
+    |> List.map (fun l ->
+           let rec rstrip i = if i > 0 && l.[i - 1] = ' ' then rstrip (i - 1) else i in
+           String.sub l 0 (rstrip (String.length l)))
+  in
+  (match lines with
+  | header :: _ -> check_bool "column aligned" true (contains header "long-header")
+  | [] -> Alcotest.fail "no output");
+  check_bool "separator row" true (contains out "----")
+
+let test_series_bars () =
+  let out =
+    capture (fun () ->
+        Bench_support.Report.series ~title:"s" [ ("big", 2.0); ("small", 0.5) ])
+  in
+  check_bool "bars scale" true (contains out "########");
+  check_bool "values printed" true (contains out "2.00x" && contains out "0.50x")
+
+let test_geomean () =
+  check_float "geomean of equal" 2.0 (Bench_support.Report.geomean [ 2.0; 2.0; 2.0 ]);
+  check_float "geomean 1,4" 2.0 (Bench_support.Report.geomean [ 1.0; 4.0 ]);
+  check_bool "empty is nan" true (Float.is_nan (Bench_support.Report.geomean []))
+
+let test_minmax () =
+  let lo, hi = Bench_support.Report.minmax [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "series bars" `Quick test_series_bars;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "minmax" `Quick test_minmax;
+        ] );
+    ]

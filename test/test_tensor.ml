@@ -1,0 +1,190 @@
+(* Tests for dtypes, mxfp4 emulation, and tensors. *)
+
+open Tensor_lib
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_dtype_bits () =
+  check_int "f8" 8 (Dtype.bits Dtype.F8E4M3);
+  check_int "f16" 16 (Dtype.bits Dtype.F16);
+  check_int "bf16" 16 (Dtype.bits Dtype.BF16);
+  check_int "mxfp4" 4 (Dtype.bits Dtype.MXFP4);
+  check_int "f8 bytes" 1 (Dtype.byte_width Dtype.F8E4M3);
+  check_bool "i32 is int" true (Dtype.is_int Dtype.I32);
+  check_bool "f16 is float" true (Dtype.is_float Dtype.F16);
+  Alcotest.(check (option string)) "roundtrip names" (Some "f8e4m3")
+    (Option.map Dtype.name (Dtype.of_name "f8"))
+
+let test_quantize_exact_values () =
+  (* Values exactly representable in every small-float format. *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun v -> check_float (Dtype.name t ^ " exact") v (Dtype.quantize t v))
+        [ 0.; 1.; -1.; 0.5; 2.; -4. ])
+    [ Dtype.F8E4M3; Dtype.F8E5M2; Dtype.F16; Dtype.BF16; Dtype.F32 ]
+
+let test_quantize_rounds () =
+  (* f16 has 10 mantissa bits: 1 + 2^-11 rounds to 1 or 1+2^-10. *)
+  let q = Dtype.quantize Dtype.F16 (1. +. (1. /. 4096.)) in
+  check_bool "rounds to representable" true (q = 1.0 || q = 1. +. (1. /. 1024.));
+  (* bf16 keeps only 7 mantissa bits. *)
+  let q2 = Dtype.quantize Dtype.BF16 1.01 in
+  check_bool "bf16 coarse" true (Float.abs (q2 -. 1.01) < 1. /. 64.);
+  (* e2m1 (fp4) values: 0, 0.5, 1, 1.5, 2, 3, 4, 6. *)
+  check_float "fp4 3" 3. (Dtype.quantize Dtype.MXFP4 3.1);
+  check_float "fp4 max" 6. (Dtype.quantize Dtype.MXFP4 100.)
+
+let test_quantize_saturates () =
+  check_float "f8e4m3 max" 480. (Dtype.quantize Dtype.F8E4M3 1.0e9);
+  check_bool "f8 negative saturate" true (Dtype.quantize Dtype.F8E4M3 (-1.0e9) < -100.);
+  check_float "i8 max" 127. (Dtype.decode Dtype.I8 (Dtype.encode Dtype.I8 1000.));
+  check_float "i8 min" (-128.) (Dtype.decode Dtype.I8 (Dtype.encode Dtype.I8 (-1000.)))
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun t ->
+      for i = 0 to (1 lsl Dtype.bits t) - 1 do
+        let v = Dtype.decode t i in
+        let i' = Dtype.encode t v in
+        if Dtype.decode t i' <> v then
+          Alcotest.failf "%s: code %d decodes to %f but re-encodes to %d" (Dtype.name t) i v i'
+      done)
+    [ Dtype.MXFP4; Dtype.F8E4M3; Dtype.F8E5M2 ]
+
+let test_mxfp4_quantize () =
+  let xs = Array.init 64 (fun i -> Float.of_int (i - 32) /. 4.) in
+  let q = Mxfp4.quantize xs in
+  check_int "two blocks" 2 (Array.length q.Mxfp4.scales);
+  let back = Mxfp4.dequantize q in
+  (* Relative error bounded by the e2m1 spacing (half step of 1/2 at
+     scale): coarse but monotone-ish. *)
+  Array.iteri
+    (fun i v ->
+      let err = Float.abs (back.(i) -. v) in
+      let bound = (Float.abs v /. 4.) +. (8. /. 4. /. 2.) in
+      if err > bound then Alcotest.failf "mxfp4 error too large at %d: %f vs %f" i back.(i) v)
+    xs
+
+let test_mxfp4_scales_powers_of_two () =
+  let xs = Array.make 32 96.0 in
+  let q = Mxfp4.quantize xs in
+  (* 96 = 6 * 16: scale must be 16 = 2^4. *)
+  check_int "scale exponent" (127 + 4) q.Mxfp4.scales.(0);
+  check_float "exact at scale" 96. (Mxfp4.get q 0)
+
+let test_tensor_indexing () =
+  let t = Tensor.init Dtype.F32 [| 4; 8 |] ~f:(fun c -> Float.of_int ((c.(0) * 10) + c.(1))) in
+  check_float "get" 23. (Tensor.get t [| 2; 3 |]);
+  Tensor.set t [| 2; 3 |] 7.;
+  check_float "set" 7. (Tensor.get t [| 2; 3 |]);
+  check_int "numel" 32 (Tensor.numel t)
+
+let test_tensor_matmul () =
+  let a = Tensor.init Dtype.F32 [| 2; 3 |] ~f:(fun c -> Float.of_int ((c.(0) * 3) + c.(1))) in
+  let b = Tensor.init Dtype.F32 [| 3; 2 |] ~f:(fun c -> Float.of_int ((c.(0) * 2) + c.(1))) in
+  let c = Tensor.matmul a b ~acc:Dtype.F32 in
+  (* a = [[0 1 2];[3 4 5]]; b = [[0 1];[2 3];[4 5]]; c = [[10 13];[28 40]] *)
+  check_float "c00" 10. (Tensor.get c [| 0; 0 |]);
+  check_float "c01" 13. (Tensor.get c [| 0; 1 |]);
+  check_float "c10" 28. (Tensor.get c [| 1; 0 |]);
+  check_float "c11" 40. (Tensor.get c [| 1; 1 |])
+
+let test_tensor_transpose_reduce () =
+  let t = Tensor.init Dtype.F32 [| 2; 4 |] ~f:(fun c -> Float.of_int ((c.(0) * 4) + c.(1))) in
+  let tt = Tensor.transpose t in
+  check_float "transposed" 1. (Tensor.get tt [| 1; 0 |]);
+  let s = Tensor.reduce_sum t ~axis:1 in
+  check_float "row sum" 6. (Tensor.get s [| 0 |]);
+  check_float "row sum 2" 22. (Tensor.get s [| 1 |])
+
+let test_tensor_shape_ops () =
+  let t = Tensor.init Dtype.F32 [| 2; 3; 4 |] ~f:(fun c -> Float.of_int ((c.(0) * 12) + (c.(1) * 4) + c.(2))) in
+  (* transpose_perm moves data, not just metadata. *)
+  let p = Tensor.transpose_perm t ~perm:[| 2; 0; 1 |] in
+  Alcotest.(check (array int)) "permuted shape" [| 4; 2; 3 |] p.Tensor.shape;
+  check_float "moved element" (Tensor.get t [| 1; 2; 3 |]) (Tensor.get p [| 3; 1; 2 |]);
+  (* reshape is row-major reinterpretation. *)
+  let r = Tensor.reshape t ~shape:[| 6; 4 |] in
+  check_float "reshape keeps order" (Tensor.get t [| 1; 0; 2 |]) (Tensor.get r [| 3; 2 |]);
+  (* expand_dims + broadcast_to. *)
+  let e = Tensor.expand_dims (Tensor.reduce_sum t ~axis:2) ~axis:2 in
+  Alcotest.(check (array int)) "expanded" [| 2; 3; 1 |] e.Tensor.shape;
+  let b = Tensor.broadcast_to e ~shape:[| 2; 3; 4 |] in
+  check_float "broadcast copies" (Tensor.get e [| 1; 1; 0 |]) (Tensor.get b [| 1; 1; 3 |])
+
+let test_tensor_cumsum () =
+  let t = Tensor.init Dtype.F32 [| 2; 4 |] ~f:(fun c -> Float.of_int (c.(1) + 1)) in
+  let c = Tensor.cumsum t ~axis:1 ~reverse:false in
+  check_float "forward last" 10. (Tensor.get c [| 0; 3 |]);
+  check_float "forward first" 1. (Tensor.get c [| 0; 0 |]);
+  let r = Tensor.cumsum t ~axis:1 ~reverse:true in
+  check_float "reverse first" 10. (Tensor.get r [| 1; 0 |]);
+  check_float "reverse last" 4. (Tensor.get r [| 1; 3 |]);
+  (* Scan along the other axis. *)
+  let c0 = Tensor.cumsum t ~axis:0 ~reverse:false in
+  check_float "axis 0" 2. (Tensor.get c0 [| 1; 0 |])
+
+let test_tensor_gather_join_split () =
+  let t = Tensor.init Dtype.F32 [| 4; 2 |] ~f:(fun c -> Float.of_int ((10 * c.(0)) + c.(1))) in
+  let idx = Tensor.init Dtype.I32 [| 4; 2 |] ~f:(fun c -> Float.of_int ((c.(0) + 1) mod 4)) in
+  let g = Tensor.gather t ~index:idx ~axis:0 in
+  check_float "gathered row" 10. (Tensor.get g [| 0; 0 |]);
+  check_float "wraps" 1. (Tensor.get g [| 3; 1 |]);
+  let j = Tensor.join t g in
+  Alcotest.(check (array int)) "joined" [| 4; 2; 2 |] j.Tensor.shape;
+  check_bool "split 0 = t" true (Tensor.equal (Tensor.split j ~half:0) t);
+  check_bool "split 1 = g" true (Tensor.equal (Tensor.split j ~half:1) g)
+
+let test_low_precision_matmul_differs () =
+  (* Quantization must actually change results for f8. *)
+  let f c = Float.of_int c.(0) +. (Float.of_int c.(1) /. 7.) +. 0.123 in
+  let a32 = Tensor.init Dtype.F32 [| 8; 8 |] ~f in
+  let a8 = Tensor.astype a32 Dtype.F8E4M3 in
+  check_bool "quantization changes values" true (Tensor.max_abs_diff a32 a8 > 0.)
+
+let prop_quantize_idempotent =
+  QCheck.Test.make ~name:"quantize is idempotent" ~count:500
+    (QCheck.pair (QCheck.make (QCheck.Gen.oneofl Dtype.all)) (QCheck.float_range (-100.) 100.))
+    (fun (t, x) ->
+      let q = Dtype.quantize t x in
+      Dtype.quantize t q = q)
+
+let prop_quantize_monotone_f8 =
+  QCheck.Test.make ~name:"f8 quantization is monotone" ~count:500
+    (QCheck.pair (QCheck.float_range (-400.) 400.) (QCheck.float_range (-400.) 400.))
+    (fun (a, b) ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      Dtype.quantize Dtype.F8E4M3 a <= Dtype.quantize Dtype.F8E4M3 b)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "tensor"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "bits and names" `Quick test_dtype_bits;
+          Alcotest.test_case "exact values" `Quick test_quantize_exact_values;
+          Alcotest.test_case "rounding" `Quick test_quantize_rounds;
+          Alcotest.test_case "saturation" `Quick test_quantize_saturates;
+          Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+        ] );
+      ( "mxfp4",
+        [
+          Alcotest.test_case "quantize" `Quick test_mxfp4_quantize;
+          Alcotest.test_case "power-of-two scales" `Quick test_mxfp4_scales_powers_of_two;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "indexing" `Quick test_tensor_indexing;
+          Alcotest.test_case "matmul" `Quick test_tensor_matmul;
+          Alcotest.test_case "transpose/reduce" `Quick test_tensor_transpose_reduce;
+          Alcotest.test_case "shape ops" `Quick test_tensor_shape_ops;
+          Alcotest.test_case "cumsum" `Quick test_tensor_cumsum;
+          Alcotest.test_case "gather/join/split" `Quick test_tensor_gather_join_split;
+          Alcotest.test_case "low precision differs" `Quick test_low_precision_matmul_differs;
+        ] );
+      ("properties", q [ prop_quantize_idempotent; prop_quantize_monotone_f8 ]);
+    ]
