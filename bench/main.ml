@@ -19,6 +19,12 @@ let layout_a () =
 
 let machine = Gpusim.Machine.gh200
 
+(* Cold variants measure the uncached planning path: every memo table
+   and plan cache is flushed at the top of each run. *)
+let flush_caches () =
+  Layout.Memo.clear ();
+  Codegen.Plan_cache.clear ()
+
 let bench_tests () =
   let open Bechamel in
   let src = Blocked.default ~elems_per_thread:8 ~warp_size:32 ~num_warps:4 [| 128; 64 |] in
@@ -58,10 +64,15 @@ let bench_tests () =
     Test.make ~name:"table5/mma-operand-construct"
       (Staged.stage (fun () ->
            ignore (Mma.operand ~idx:0 ~bitwidth:16 ~warps:[| 4; 1 |] ~shape:[| 64; 64 |] ())));
-    (* Figure 2: optimal swizzle search. *)
-    Test.make ~name:"figure2/optimal-swizzle"
+    (* Figure 2: optimal swizzle search, cold (caches flushed every run)
+       vs warm (hits the plan cache). *)
+    Test.make ~name:"figure2/optimal-swizzle-cold"
       (Staged.stage (fun () ->
-           ignore (Codegen.Swizzle_opt.optimal machine ~src ~dst ~byte_width:2)));
+           flush_caches ();
+           ignore (Codegen.Plan_cache.swizzle machine ~src ~dst ~byte_width:2)));
+    Test.make ~name:"figure2/optimal-swizzle-warm"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Plan_cache.swizzle machine ~src ~dst ~byte_width:2)));
     (* Figure 6: mxfp4 quantization (the software-emulation payload). *)
     Test.make ~name:"figure6/mxfp4-quantize"
       (let xs = Array.init 1024 (fun i -> Float.of_int (i mod 97) /. 7.) in
@@ -73,8 +84,14 @@ let bench_tests () =
     (* Figure 8: gather planning. *)
     Test.make ~name:"figure8/gather-plan"
       (Staged.stage (fun () -> ignore (Codegen.Gather.plan src ~axis:1)));
-    (* Figure 9 / Table 6: the full layout engine on a gemm. *)
-    Test.make ~name:"figure9/engine-gemm-linear"
+    (* Figure 9 / Table 6: the full layout engine on a gemm, cold vs
+       warm — the warm engine re-plans nothing and only re-simulates. *)
+    Test.make ~name:"figure9/engine-gemm-linear-cold"
+      (Staged.stage (fun () ->
+           flush_caches ();
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512))));
+    Test.make ~name:"figure9/engine-gemm-linear-warm"
       (Staged.stage (fun () ->
            ignore
              (Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512))));
@@ -83,16 +100,33 @@ let bench_tests () =
            ignore
              (Tir.Engine.run machine ~mode:Tir.Engine.Legacy_mode
                 (gemm.Tir.Kernels.build ~size:512))));
-    (* Conversion planning end to end. *)
-    Test.make ~name:"conversion/plan+classify"
+    (* Conversion planning end to end, cold vs warm. *)
+    Test.make ~name:"conversion/plan+classify-cold"
       (Staged.stage (fun () ->
-           ignore (Codegen.Conversion.plan machine ~src ~dst ~byte_width:2)));
+           flush_caches ();
+           ignore (Codegen.Plan_cache.conversion machine ~src ~dst ~byte_width:2)));
+    Test.make ~name:"conversion/plan+classify-warm"
+      (Staged.stage (fun () ->
+           ignore (Codegen.Plan_cache.conversion machine ~src ~dst ~byte_width:2)));
   ]
 
-let run_bechamel () =
+let write_json file rows =
+  let oc = open_out file in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name est
+        (if i < last then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) file
+
+let run_bechamel ?(quota = 0.25) ?json () =
   let open Bechamel in
   Bench_support.Report.section "Bechamel micro-benchmarks (library algorithms)";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let instance = Toolkit.Instance.monotonic_clock in
   let tests = Test.make_grouped ~name:"ll" (bench_tests ()) in
   let raw = Benchmark.all cfg [ instance ] tests in
@@ -107,17 +141,18 @@ let run_bechamel () =
       | Some (est :: _) -> rows := (name, est) :: !rows
       | _ -> ())
     results;
-  List.sort compare !rows
-  |> List.iter (fun (name, est) -> Printf.printf "%-45s %14.1f ns/run\n" name est)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, est) -> Printf.printf "%-45s %14.1f ns/run\n" name est) rows;
+  Option.iter (fun file -> write_json file rows) json
 
 (* {1 Command line} *)
 
-let run_filtered which =
+let run_filtered ?quota ?json which =
   let module E = Bench_support.Experiments in
   match which with
   | `All ->
       E.run_all ();
-      run_bechamel ()
+      run_bechamel ?quota ?json ()
   | `Table 1 -> ignore (E.table1 ())
   | `Table 2 -> ignore (E.table2 ())
   | `Table 3 -> ignore (E.table3 ())
@@ -129,7 +164,7 @@ let run_filtered which =
   | `Figure 7 -> ignore (E.figure7 ())
   | `Figure 8 -> ignore (E.figure8 ())
   | `Figure 9 -> ignore (E.figure9 ())
-  | `Bechamel -> run_bechamel ()
+  | `Bechamel -> run_bechamel ?quota ?json ()
   | `Ablation -> E.run_ablations ()
   | `Autotune -> ignore (E.extra_autotune ())
   | `Table n | `Figure n ->
@@ -153,17 +188,30 @@ let () =
   let autotune_only =
     Arg.(value & flag & info [ "autotune" ] ~doc:"Run only the autotuning supplementary table.")
   in
-  let main table figure bechamel_only ablation_only autotune_only =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Dump Bechamel results to $(docv) as JSON rows of {name, ns_per_run}.")
+  in
+  let quota =
+    Arg.(
+      value & opt float 0.25
+      & info [ "quota" ] ~docv:"SECONDS" ~doc:"Bechamel time quota per test (default 0.25).")
+  in
+  let main table figure bechamel_only ablation_only autotune_only quota json =
     match (table, figure, bechamel_only, ablation_only, autotune_only) with
     | Some n, _, _, _, _ -> run_filtered (`Table n)
     | _, Some n, _, _, _ -> run_filtered (`Figure n)
-    | _, _, true, _, _ -> run_filtered `Bechamel
+    | _, _, true, _, _ -> run_filtered ~quota ?json `Bechamel
     | _, _, _, true, _ -> run_filtered `Ablation
     | _, _, _, _, true -> run_filtered `Autotune
-    | _ -> run_filtered `All
+    | _ -> run_filtered ~quota ?json `All
   in
   let term =
-    Term.(const main $ table $ figure $ bechamel_only $ ablation_only $ autotune_only)
+    Term.(
+      const main $ table $ figure $ bechamel_only $ ablation_only $ autotune_only $ quota $ json)
   in
   let info =
     Cmd.info "bench"

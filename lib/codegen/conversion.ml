@@ -4,15 +4,15 @@ type mechanism =
   | No_op
   | Register_permute
   | Warp_shuffle of Shuffle.t
-  | Warp_shuffle_compressed of { inner : Shuffle.t; src_c : Layout.t; dst_c : Layout.t }
+  | Warp_shuffle_compressed of Shuffle.t
   | Shared_memory of Swizzle_opt.t
   | Global_roundtrip
 
 type plan = { src : Layout.t; dst : Layout.t; byte_width : int; mechanism : mechanism }
 
 let conversion_map ~src ~dst =
-  let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
-  Layout.compose (Layout.pseudo_invert b) a
+  let a = Layout.Memo.flatten_outs src and b = Layout.Memo.flatten_outs dst in
+  Layout.Memo.compose (Layout.Memo.pseudo_invert b) a
 
 let mechanism_name = function
   | No_op -> "no-op"
@@ -26,8 +26,8 @@ let plan machine ~src ~dst ~byte_width =
   let mech =
     if Layout.equal src dst then No_op
     else
-      let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
-      let same d = Layout.flat_columns a d = Layout.flat_columns b d in
+      let a = Layout.Memo.flatten_outs src and b = Layout.Memo.flatten_outs dst in
+      let same d = Layout.Memo.flat_columns a d = Layout.Memo.flat_columns b d in
       if same Dims.lane && same Dims.warp && same Dims.block then Register_permute
       else if not (same Dims.block) then Global_roundtrip
       else
@@ -41,7 +41,7 @@ let plan machine ~src ~dst ~byte_width =
               Shared_memory (Swizzle_opt.optimal machine ~src ~dst ~byte_width)
             else
               match Shuffle.plan machine ~src:src_c ~dst:dst_c ~byte_width with
-              | Ok inner -> Warp_shuffle_compressed { inner; src_c; dst_c }
+              | Ok inner -> Warp_shuffle_compressed inner
               | Error _ -> Shared_memory (Swizzle_opt.optimal machine ~src ~dst ~byte_width))
   in
   { src; dst; byte_width; mechanism = mech }
@@ -65,15 +65,14 @@ let execute plan d =
   match plan.mechanism with
   | No_op -> { d with Gpusim.Dist.layout = plan.dst }
   | Warp_shuffle p -> Shuffle.execute p d
-  | Warp_shuffle_compressed { inner; src_c; dst_c } ->
-      (* Compress, shuffle the representatives on the real executor,
-         then re-broadcast into the destination's duplicate registers. *)
-      let compressed = execute_algebraic { plan with dst = src_c; mechanism = No_op } d in
-      let compressed = { compressed with Gpusim.Dist.layout = src_c } in
+  | Warp_shuffle_compressed inner ->
+      (* Compress into the shuffle's source layout, exchange the
+         representatives on the real executor, then re-broadcast from
+         the shuffle's destination into the duplicate registers. *)
+      let compressed = execute_algebraic { plan with dst = inner.Shuffle.src; mechanism = No_op } d in
+      let compressed = { compressed with Gpusim.Dist.layout = inner.Shuffle.src } in
       let shuffled = Shuffle.execute inner compressed in
-      ignore dst_c;
-      execute_algebraic { plan with src = shuffled.Gpusim.Dist.layout; mechanism = No_op }
-        shuffled
+      execute_algebraic { plan with src = inner.Shuffle.dst; mechanism = No_op } shuffled
   | Register_permute | Shared_memory _ | Global_roundtrip -> execute_algebraic plan d
 
 let cost machine plan =
@@ -84,14 +83,13 @@ let cost machine plan =
       c.Gpusim.Cost.alu <- 1 lsl Layout.in_bits plan.src Dims.register;
       c
   | Warp_shuffle p -> Shuffle.cost p
-  | Warp_shuffle_compressed { inner; src_c; dst_c } ->
+  | Warp_shuffle_compressed inner ->
       let c = Shuffle.cost inner in
       (* Register moves to compress and re-broadcast. *)
       c.Gpusim.Cost.alu <-
         c.Gpusim.Cost.alu
-        + (1 lsl Layout.in_bits src_c Dims.register)
+        + (1 lsl Layout.in_bits inner.Shuffle.src Dims.register)
         + (1 lsl Layout.in_bits plan.dst Dims.register);
-      ignore dst_c;
       c
   | Shared_memory s ->
       (* Per side: ordinary vectorized accesses with the predicted
@@ -99,7 +97,7 @@ let cost machine plan =
          ldmatrix/stmatrix tile divides the register-to-offset map
          (Section 5.3) and the machine has the instruction. *)
       let byte_width = plan.byte_width in
-      let mem_inv = Layout.invert (Layout.flatten_outs s.Swizzle_opt.mem) in
+      let mem_inv = Layout.Memo.invert (Layout.Memo.flatten_outs s.Swizzle_opt.mem) in
       let c = Gpusim.Cost.zero () in
       let side ~layout ~predicted ~matrix_cap =
         let warps = 1 lsl Layout.in_bits layout Dims.warp in
@@ -110,7 +108,7 @@ let cost machine plan =
         let matrix_ok =
           matrix_cap
           && Simd.can_use_ldmatrix
-               (Layout.compose mem_inv (Layout.flatten_outs layout))
+               (Layout.Memo.compose mem_inv (Layout.Memo.flatten_outs layout))
                ~byte_width
         in
         if matrix_ok then begin

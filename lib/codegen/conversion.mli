@@ -17,11 +17,13 @@ type mechanism =
   | No_op
   | Register_permute
   | Warp_shuffle of Shuffle.t
-  | Warp_shuffle_compressed of { inner : Shuffle.t; src_c : Layout.t; dst_c : Layout.t }
+  | Warp_shuffle_compressed of Shuffle.t
       (** layouts that broadcast only in registers: duplicate registers
           are compressed away, the shuffle runs on the representatives,
           and the destination's copies are re-materialized with register
-          moves — lifting Section 5.4's "no broadcasting" assumption *)
+          moves — lifting Section 5.4's "no broadcasting" assumption.
+          The carried plan's [src]/[dst] fields are the compressed
+          (register-deduplicated) layouts that stage the exchange. *)
   | Shared_memory of Swizzle_opt.t
   | Global_roundtrip
       (** the layouts place data in different CTAs: shared memory cannot

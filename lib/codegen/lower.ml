@@ -155,10 +155,11 @@ let conversion machine (plan : Conversion.plan) =
     | Conversion.Warp_shuffle p ->
         shuffle_instrs p ~src ~dst ~src_base:0 ~dst_base:map.dst_base ~stage_send ~stage_recv
           ~warps ~lanes
-    | Conversion.Warp_shuffle_compressed { inner; src_c; dst_c } ->
+    | Conversion.Warp_shuffle_compressed inner ->
         (* Compress the duplicated source registers into a compact
            staging block, run the shuffle there, then re-broadcast into
            the destination's register file. *)
+        let src_c = inner.Shuffle.src and dst_c = inner.Shuffle.dst in
         let sc = Layout.in_size src_c Dims.register in
         let dc = Layout.in_size dst_c Dims.register in
         let base_sc = src_regs + dst_regs + 2 and base_dc = src_regs + dst_regs + 2 + sc in
@@ -192,8 +193,9 @@ let conversion machine (plan : Conversion.plan) =
   in
   let extra =
     match plan.Conversion.mechanism with
-    | Conversion.Warp_shuffle_compressed { src_c; dst_c; _ } ->
-        Layout.in_size src_c Dims.register + Layout.in_size dst_c Dims.register + 2
+    | Conversion.Warp_shuffle_compressed inner ->
+        Layout.in_size inner.Shuffle.src Dims.register
+        + Layout.in_size inner.Shuffle.dst Dims.register + 2
     | _ -> 0
   in
   ({ Gpusim.Isa.warps; lanes; smem_elems; body }, { map with total_slots = map.total_slots + extra })

@@ -1,0 +1,103 @@
+open Linear_layout
+
+type key = { machine : string; src : Layout.t; dst : Layout.t; byte_width : int }
+
+module K = struct
+  type t = key
+
+  let equal a b =
+    a.byte_width = b.byte_width
+    && String.equal a.machine b.machine
+    && Layout.equal a.src b.src
+    && Layout.equal a.dst b.dst
+
+  let hash k =
+    (Hashtbl.hash k.machine * 0x01000193)
+    lxor (Layout.Memo.hash k.src * 31)
+    lxor Layout.Memo.hash k.dst lxor k.byte_width
+end
+
+module H = Hashtbl.Make (K)
+
+type stats = { mutable hits : int; mutable misses : int }
+
+type tables = {
+  stats : stats;
+  conv : Conversion.plan H.t;
+  shuf : (Shuffle.t, string) result H.t;
+  swiz : Swizzle_opt.t H.t;
+  stage : Operand_staging.t option H.t;
+}
+
+let fresh () =
+  {
+    stats = { hits = 0; misses = 0 };
+    conv = H.create 128;
+    shuf = H.create 64;
+    swiz = H.create 64;
+    stage = H.create 64;
+  }
+
+let dls = Domain.DLS.new_key fresh
+let tables () = Domain.DLS.get dls
+let hits () = (tables ()).stats.hits
+let misses () = (tables ()).stats.misses
+
+let reset_stats () =
+  let s = (tables ()).stats in
+  s.hits <- 0;
+  s.misses <- 0
+
+let clear () =
+  let tb = tables () in
+  H.reset tb.conv;
+  H.reset tb.shuf;
+  H.reset tb.swiz;
+  H.reset tb.stage
+
+(* Machines are identified by name: the built-in configurations all
+   carry distinct names, and a custom machine must be renamed to get its
+   own cache entries. *)
+let key_of machine ~src ~dst ~byte_width =
+  let src = Layout.Memo.intern src and dst = Layout.Memo.intern dst in
+  { machine = machine.Gpusim.Machine.name; src; dst; byte_width }
+
+let cached tbl k compute =
+  let tb = tables () in
+  match H.find_opt (tbl tb) k with
+  | Some r ->
+      tb.stats.hits <- tb.stats.hits + 1;
+      r
+  | None ->
+      let r = compute () in
+      tb.stats.misses <- tb.stats.misses + 1;
+      H.add (tbl tb) k r;
+      r
+
+let conversion machine ~src ~dst ~byte_width =
+  let k = key_of machine ~src ~dst ~byte_width in
+  cached
+    (fun tb -> tb.conv)
+    k
+    (fun () -> Conversion.plan machine ~src:k.src ~dst:k.dst ~byte_width)
+
+let shuffle machine ~src ~dst ~byte_width =
+  let k = key_of machine ~src ~dst ~byte_width in
+  cached
+    (fun tb -> tb.shuf)
+    k
+    (fun () -> Shuffle.plan machine ~src:k.src ~dst:k.dst ~byte_width)
+
+let swizzle machine ~src ~dst ~byte_width =
+  let k = key_of machine ~src ~dst ~byte_width in
+  cached
+    (fun tb -> tb.swiz)
+    k
+    (fun () -> Swizzle_opt.optimal machine ~src:k.src ~dst:k.dst ~byte_width)
+
+let staging machine ~src ~dst ~byte_width =
+  let k = key_of machine ~src ~dst ~byte_width in
+  cached
+    (fun tb -> tb.stage)
+    k
+    (fun () -> Operand_staging.plan machine ~src:k.src ~dst:k.dst ~byte_width)

@@ -1,0 +1,40 @@
+(** A per-domain cache of conversion, shuffle, swizzle and staging
+    plans, keyed by [(machine, src, dst, byte_width)].
+
+    Planning a single conversion runs several Gaussian eliminations and
+    a swizzle search; the layout engine and the autotuner re-plan
+    byte-identical conversions once per program edge per configuration.
+    This cache pays each distinct planning problem once per domain.
+
+    Like {!Linear_layout.Layout.Memo}, tables live in [Domain.DLS]:
+    every OCaml 5 domain (e.g. each parallel autotuner worker) owns a
+    private cache, so lookups never contend and results merge
+    deterministically.  Plans depend only on immutable layouts and the
+    machine description, so entries never need invalidation.  Machines
+    are distinguished by their [name] field. *)
+
+open Linear_layout
+
+(** Cached {!Conversion.plan}. *)
+val conversion :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Conversion.plan
+
+(** Cached {!Shuffle.plan} (errors are cached too: a conversion that
+    cannot shuffle won't re-derive why). *)
+val shuffle :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> (Shuffle.t, string) result
+
+(** Cached {!Swizzle_opt.optimal}. *)
+val swizzle :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Swizzle_opt.t
+
+(** Cached {!Operand_staging.plan}. *)
+val staging :
+  Gpusim.Machine.t -> src:Layout.t -> dst:Layout.t -> byte_width:int -> Operand_staging.t option
+
+(** {2 Cache introspection (calling domain only)} *)
+
+val hits : unit -> int
+val misses : unit -> int
+val reset_stats : unit -> unit
+val clear : unit -> unit

@@ -11,19 +11,22 @@ type t = {
   shuffles_per_round : int;
 }
 
-let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.flat_columns l d)
+let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.Memo.flat_columns l d)
 let set_diff a b = List.filter (fun x -> not (List.mem x b)) a
 let set_inter a b = List.filter (fun x -> List.mem x b) a
 
 let plan machine ~src ~dst ~byte_width =
-  let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
+  let a = Layout.Memo.flatten_outs src and b = Layout.Memo.flatten_outs dst in
   if Layout.out_dims a <> Layout.out_dims b then Error "layouts cover different logical spaces"
-  else if Layout.flat_columns a Dims.warp <> Layout.flat_columns b Dims.warp then
+  else if Layout.Memo.flat_columns a Dims.warp <> Layout.Memo.flat_columns b Dims.warp then
     Error "conversion crosses warps"
-  else if Layout.flat_columns a Dims.block <> Layout.flat_columns b Dims.block then
+  else if Layout.Memo.flat_columns a Dims.block <> Layout.Memo.flat_columns b Dims.block then
     Error "conversion crosses CTAs"
-  else if not (Layout.is_invertible a && Layout.is_invertible b) then
-    Error "broadcasting layouts need the shared-memory path"
+  else if
+    not
+      (F2.Bitmatrix.is_invertible (Layout.Memo.to_matrix a)
+      && F2.Bitmatrix.is_invertible (Layout.Memo.to_matrix b))
+  then Error "broadcasting layouts need the shared-memory path"
   else begin
     ignore machine;
     let d = Layout.total_out_bits a in

@@ -10,7 +10,7 @@ type t = {
   load_wavefronts : int;
 }
 
-let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.flat_columns l d)
+let nonzero_cols l d = List.filter (fun c -> c <> 0) (Layout.Memo.flat_columns l d)
 let set_diff a b = List.filter (fun x -> not (List.mem x b)) a
 let set_inter a b = List.filter (fun x -> List.mem x b) a
 let take n l = List.filteri (fun i _ -> i < n) l
@@ -45,13 +45,13 @@ let predict_wavefronts machine ~vec ~seg ~dist ~byte_width =
   ignore machine;
   let vec_bits = List.length vec in
   let n = banks_per_access ~vec_bits ~byte_width in
-  let thr = nonzero_cols (Layout.flatten_outs dist) Dims.lane in
+  let thr = nonzero_cols (Layout.Memo.flatten_outs dist) Dims.lane in
   let bank_thr = drop_last (Util.log2 n) thr in
   let inter = F2.Subspace.intersection (vec @ seg) bank_thr in
   n * (1 lsl List.length inter)
 
 let optimal machine ~src ~dst ~byte_width =
-  let a = Layout.flatten_outs src and b = Layout.flatten_outs dst in
+  let a = Layout.Memo.flatten_outs src and b = Layout.Memo.flatten_outs dst in
   if Layout.out_dims a <> Layout.out_dims b then
     invalid_arg "Swizzle_opt.optimal: layouts cover different logical spaces";
   let d = Layout.total_out_bits a in

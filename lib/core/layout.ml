@@ -475,6 +475,194 @@ let num_consecutive l ~in_dim =
   in
   go 0 (flat_columns l in_dim)
 
+(* {1 Memoization} *)
+
+(* Layouts are immutable, so every operation on them is a pure function
+   of its arguments: memo tables never need invalidation.  Tables are
+   domain-local (via [Domain.DLS]) so OCaml 5 domains — e.g. the
+   parallel autotuner — each own a private cache and never contend. *)
+module Memo = struct
+  (* A cheap structural hash: FNV-style fold over the dimension lists
+     and basis coordinates.  Polymorphic [Hashtbl.hash] stops after a
+     bounded number of nodes, which collides badly on layouts differing
+     only deep in [bases]; this visits every coordinate (layouts are
+     small: tens of ints). *)
+  let hash l =
+    let h = ref 0x811c9dc5 in
+    let mix x = h := (!h lxor x) * 0x01000193 land max_int in
+    Array.iter
+      (fun (d, b) ->
+        mix (Hashtbl.hash (d : string));
+        mix b)
+      l.ins;
+    Array.iter
+      (fun (d, b) ->
+        mix (Hashtbl.hash (d : string));
+        mix b)
+      l.outs;
+    Array.iter (Array.iter (Array.iter mix)) l.bases;
+    !h
+
+  module H1 = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  module H2 = Hashtbl.Make (struct
+    type nonrec t = t * t
+
+    let equal (a1, b1) (a2, b2) = equal a1 a2 && equal b1 b2
+    let hash (a, b) = (hash a * 0x01000193) lxor hash b
+  end)
+
+  module HS = Hashtbl.Make (struct
+    type nonrec t = t * string
+
+    let equal (a1, s1) (a2, s2) = String.equal s1 s2 && equal a1 a2
+    let hash (a, s) = hash a lxor Hashtbl.hash s
+  end)
+
+  type stats = { mutable hits : int; mutable misses : int }
+
+  type tables = {
+    stats : stats;
+    interned : t H1.t;
+    compose_t : t H2.t;
+    invert_t : t H1.t;
+    pseudo_invert_t : t H1.t;
+    flatten_outs_t : t HS.t;
+    flat_columns_t : int list HS.t;
+    num_consecutive_t : int HS.t;
+    free_masks_t : (string * int) list H1.t;
+    matrix_t : F2.Bitmatrix.t H1.t;
+  }
+
+  let fresh () =
+    {
+      stats = { hits = 0; misses = 0 };
+      interned = H1.create 256;
+      compose_t = H2.create 256;
+      invert_t = H1.create 64;
+      pseudo_invert_t = H1.create 64;
+      flatten_outs_t = HS.create 256;
+      flat_columns_t = HS.create 256;
+      num_consecutive_t = HS.create 64;
+      free_masks_t = H1.create 64;
+      matrix_t = H1.create 256;
+    }
+
+  let key = Domain.DLS.new_key fresh
+  let tables () = Domain.DLS.get key
+  let hits () = (tables ()).stats.hits
+  let misses () = (tables ()).stats.misses
+
+  let reset_stats () =
+    let s = (tables ()).stats in
+    s.hits <- 0;
+    s.misses <- 0
+
+  let clear () =
+    let tb = tables () in
+    H1.reset tb.interned;
+    H2.reset tb.compose_t;
+    H1.reset tb.invert_t;
+    H1.reset tb.pseudo_invert_t;
+    HS.reset tb.flatten_outs_t;
+    HS.reset tb.flat_columns_t;
+    HS.reset tb.num_consecutive_t;
+    H1.reset tb.free_masks_t;
+    H1.reset tb.matrix_t
+
+  (* Canonical representative without touching the counters — used to
+     hash-cons the results stored in the memo tables. *)
+  let intern_quiet tb l =
+    match H1.find_opt tb.interned l with
+    | Some c -> c
+    | None ->
+        H1.add tb.interned l l;
+        l
+
+  let intern l =
+    let tb = tables () in
+    match H1.find_opt tb.interned l with
+    | Some c ->
+        tb.stats.hits <- tb.stats.hits + 1;
+        c
+    | None ->
+        tb.stats.misses <- tb.stats.misses + 1;
+        H1.add tb.interned l l;
+        l
+
+  let hit tb = tb.stats.hits <- tb.stats.hits + 1
+  let miss tb = tb.stats.misses <- tb.stats.misses + 1
+
+  (* Memo a layout-valued operation (the result is hash-consed through
+     the intern table so chained lookups share representatives). *)
+  let memo_layout find add tbl k compute =
+    let tb = tables () in
+    match find (tbl tb) k with
+    | Some r ->
+        hit tb;
+        r
+    | None ->
+        let r = intern_quiet tb (compute ()) in
+        miss tb;
+        add (tbl tb) k r;
+        r
+
+  (* Memo a plain-valued operation. *)
+  let memo_value find add tbl k compute =
+    let tb = tables () in
+    match find (tbl tb) k with
+    | Some r ->
+        hit tb;
+        r
+    | None ->
+        let r = compute () in
+        miss tb;
+        add (tbl tb) k r;
+        r
+
+  let compose l2 l1 =
+    memo_layout H2.find_opt H2.add (fun tb -> tb.compose_t) (l2, l1) (fun () -> compose l2 l1)
+
+  let invert l = memo_layout H1.find_opt H1.add (fun tb -> tb.invert_t) l (fun () -> invert l)
+
+  let pseudo_invert l =
+    memo_layout H1.find_opt H1.add
+      (fun tb -> tb.pseudo_invert_t)
+      l
+      (fun () -> pseudo_invert l)
+
+  let flatten_outs ?(name = Dims.flat) l =
+    memo_layout HS.find_opt HS.add
+      (fun tb -> tb.flatten_outs_t)
+      (l, name)
+      (fun () -> flatten_outs ~name l)
+
+  let flat_columns l d =
+    memo_value HS.find_opt HS.add (fun tb -> tb.flat_columns_t) (l, d) (fun () -> flat_columns l d)
+
+  let num_consecutive l ~in_dim =
+    memo_value HS.find_opt HS.add
+      (fun tb -> tb.num_consecutive_t)
+      (l, in_dim)
+      (fun () -> num_consecutive l ~in_dim)
+
+  let free_variable_masks l =
+    memo_value H1.find_opt H1.add
+      (fun tb -> tb.free_masks_t)
+      l
+      (fun () -> free_variable_masks l)
+
+  let to_matrix l =
+    memo_value H1.find_opt H1.add (fun tb -> tb.matrix_t) l (fun () -> to_matrix l)
+
+  let apply_flat l v = F2.Bitmatrix.apply (to_matrix l) v
+end
+
 (* {1 Printing} *)
 
 let pp ppf l =

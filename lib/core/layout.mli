@@ -194,6 +194,53 @@ val free_variable_masks : t -> (string * int) list
     Section 5.1 that drives vectorization. *)
 val num_consecutive : t -> in_dim:string -> int
 
+(** {1 Memoization}
+
+    Layouts are immutable, so every operation is a pure function of its
+    arguments and memo results never need invalidation.  [Memo] mirrors
+    the hot operations of the plain API behind per-domain
+    ([Domain.DLS]) hash tables keyed by a cheap structural hash: two
+    structurally equal layouts built independently (as the engine does
+    per instruction) share one cache entry.  Layout-valued results are
+    hash-consed through {!Memo.intern}'s table.
+
+    Each OCaml 5 domain owns a private set of tables — the parallel
+    autotuner's worker domains warm their own caches and never contend
+    — so counters and [clear] act on the calling domain only. *)
+module Memo : sig
+  (** Cheap structural hash visiting every dimension and basis
+      coordinate (unlike polymorphic [Hashtbl.hash], which truncates). *)
+  val hash : t -> int
+
+  (** Canonical representative: structurally equal layouts intern to
+      one physically shared value. *)
+  val intern : t -> t
+
+  (** Memoized counterparts of the plain operations. *)
+
+  val compose : t -> t -> t
+  val invert : t -> t
+  val pseudo_invert : t -> t
+  val flatten_outs : ?name:string -> t -> t
+  val flat_columns : t -> string -> int list
+  val num_consecutive : t -> in_dim:string -> int
+  val free_variable_masks : t -> (string * int) list
+  val to_matrix : t -> F2.Bitmatrix.t
+
+  (** [apply_flat l v] like {!Layout.apply_flat}, but the matrix is
+      built once per distinct layout instead of once per call. *)
+  val apply_flat : t -> int -> int
+
+  (** {2 Cache introspection} *)
+
+  val hits : unit -> int
+  val misses : unit -> int
+  val reset_stats : unit -> unit
+
+  (** Drop all memo tables of the calling domain (counters are kept). *)
+  val clear : unit -> unit
+end
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit

@@ -25,14 +25,22 @@ let mul a b =
   { rows = a.rows; cols = Array.map (apply a) b.cols }
 
 let transpose m =
+  (* Word-parallel: instead of probing every (i, j) entry, scan each
+     column's set bits with [v land -v], touching only the non-zero
+     entries — O(cols + popcount) rather than O(rows * cols). *)
   let n = cols m in
-  let out = Array.make m.rows 0 in
-  for i = 0 to m.rows - 1 do
-    for j = 0 to n - 1 do
-      if get m i j then out.(i) <- out.(i) lor (1 lsl j)
-    done
-  done;
-  { rows = n; cols = out }
+  let out = Array.make (max 1 m.rows) 0 in
+  Array.iteri
+    (fun j c ->
+      let bit = 1 lsl j in
+      let c = ref c in
+      while !c <> 0 do
+        let i = Bitvec.ntz !c in
+        out.(i) <- out.(i) lor bit;
+        c := !c land (!c - 1)
+      done)
+    m.cols;
+  { rows = n; cols = (if m.rows = 0 then [||] else Array.sub out 0 m.rows) }
 
 let hconcat a b =
   if a.rows <> b.rows then invalid_arg "Bitmatrix.hconcat: row mismatch";
@@ -64,29 +72,51 @@ let divide_left m a =
 
 (* Column echelon form with combination tracking.  Each pivot is a pair
    [(value, comb)] where [value] is a reduced column and [comb] records
-   which original columns were XOR-ed to obtain it.  Pivots are keyed by
-   the most significant set bit of [value]. *)
-type echelon = { pivots : (Bitvec.t * Bitvec.t) list }
+   which original columns were XOR-ed to obtain it.  Pivots live in an
+   array indexed by the most significant set bit of [value], so reducing
+   a vector is a single downward scan — O(rows) lookups — instead of the
+   restart-the-pivot-list scan (quadratic in rank) this replaces. *)
+type echelon = {
+  e_rank : int;
+  pivots : (Bitvec.t * Bitvec.t) option array;  (** slot [k] = pivot with msb [k] *)
+}
 
-let reduce_by pivots v comb =
-  let rec go v comb = function
-    | [] -> (v, comb)
-    | (pv, pc) :: rest ->
-        if v <> 0 && Bitvec.msb v = Bitvec.msb pv then go (v lxor pv) (comb lxor pc) pivots
-        else go v comb rest
-  in
-  go v comb pivots
+(* Reduce [v] (tracking [comb]) against the pivot table.  Every XOR with
+   the pivot stored at slot [msb v] clears that bit, so the cursor [k]
+   only ever moves downward; the loop stops at the first set bit without
+   a pivot (the same stopping rule as the list-based reduction: only
+   msb-matching pivots are applied). *)
+let reduce_pivots pivots v comb =
+  let v = ref v and comb = ref comb in
+  let k = ref (Bitvec.msb !v) in
+  let reduced = ref false in
+  while !k >= 0 && not !reduced do
+    match pivots.(!k) with
+    | Some (pv, pc) ->
+        v := !v lxor pv;
+        comb := !comb lxor pc;
+        while !k >= 0 && not (Bitvec.bit !v !k) do
+          decr k
+        done
+    | None -> reduced := true
+  done;
+  (!v, !comb)
 
 let echelonize m =
-  let pivots = ref [] in
+  let pivots = Array.make (max 1 m.rows) None in
+  let rank = ref 0 in
   Array.iteri
     (fun j c ->
-      let v, comb = reduce_by !pivots c (Bitvec.unit j) in
-      if v <> 0 then pivots := (v, comb) :: !pivots)
+      let v, comb = reduce_pivots pivots c (Bitvec.unit j) in
+      if v <> 0 then begin
+        pivots.(Bitvec.msb v) <- Some (v, comb);
+        incr rank
+      end)
     m.cols;
-  { pivots = !pivots }
+  { e_rank = !rank; pivots }
 
-let rank m = List.length (echelonize m).pivots
+let echelon_rank ech = ech.e_rank
+let rank m = (echelonize m).e_rank
 let is_surjective m = rank m = m.rows
 let is_injective m = rank m = cols m
 let is_invertible m = m.rows = cols m && rank m = m.rows
@@ -109,7 +139,7 @@ let is_permutation m =
     m.cols
 
 let solve_with ech b =
-  let v, comb = reduce_by ech.pivots b 0 in
+  let v, comb = reduce_pivots ech.pivots b 0 in
   if v = 0 then Some comb else None
 
 let solve m b = solve_with (echelonize m) b
@@ -131,12 +161,12 @@ let inverse m =
 let kernel m =
   (* A column that reduces to zero yields a kernel combination; also track
      combinations: replay echelonization and collect the zero reductions. *)
-  let pivots = ref [] in
+  let pivots = Array.make (max 1 m.rows) None in
   let ker = ref [] in
   Array.iteri
     (fun j c ->
-      let v, comb = reduce_by !pivots c (Bitvec.unit j) in
-      if v = 0 then ker := comb :: !ker else pivots := (v, comb) :: !pivots)
+      let v, comb = reduce_pivots pivots c (Bitvec.unit j) in
+      if v = 0 then ker := comb :: !ker else pivots.(Bitvec.msb v) <- Some (v, comb))
     m.cols;
   List.rev !ker
 

@@ -56,6 +56,24 @@ val is_zero : t -> bool
     matrix (Definition 4.10). *)
 val is_permutation : t -> bool
 
+(** The result of one Gaussian elimination: an MSB-indexed pivot table
+    with combination tracking.  Computing it once and solving many
+    right-hand sides against it (with {!solve_with}) costs one
+    elimination total instead of one per side — the pattern
+    {!right_inverse} uses internally and callers with batches of RHS
+    should use too. *)
+type echelon
+
+(** [echelonize m] runs Gaussian elimination once, producing a reusable
+    factorization. *)
+val echelonize : t -> echelon
+
+val echelon_rank : echelon -> int
+
+(** [solve_with ech b] solves against a precomputed factorization, with
+    the same zero-free-variable convention as {!solve}. *)
+val solve_with : echelon -> Bitvec.t -> Bitvec.t option
+
 (** [solve m b] finds [x] with [m x = b], setting all free variables to
     zero so the solution has minimal support among the coset of solutions
     built from pivot columns. [None] if [b] is outside the image. *)

@@ -6,18 +6,34 @@ let bit v k = v land (1 lsl k) <> 0
 let add = ( lxor )
 let pointwise_mul = ( land )
 
+(* SWAR popcount on the 63-bit payload: fold pairs, nibbles, then sum
+   bytes with a multiply. *)
 let popcount v =
-  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
-  go 0 v
+  let v = v - ((v lsr 1) land 0x5555555555555555) in
+  let v = (v land 0x3333333333333333) + ((v lsr 2) land 0x3333333333333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (v * 0x0101010101010101) lsr 56 land 0xFF
 
 let parity v = popcount v land 1 = 1
 let dot a b = parity (a land b)
 
+(* Branchy binary search instead of a per-bit loop: O(log w). *)
 let msb v =
-  let rec go k v = if v = 0 then k else go (k + 1) (v lsr 1) in
-  go (-1) v
+  if v = 0 then -1
+  else begin
+    let v = ref v and k = ref 0 in
+    if !v lsr 32 <> 0 then begin k := !k + 32; v := !v lsr 32 end;
+    if !v lsr 16 <> 0 then begin k := !k + 16; v := !v lsr 16 end;
+    if !v lsr 8 <> 0 then begin k := !k + 8; v := !v lsr 8 end;
+    if !v lsr 4 <> 0 then begin k := !k + 4; v := !v lsr 4 end;
+    if !v lsr 2 <> 0 then begin k := !k + 2; v := !v lsr 2 end;
+    if !v lsr 1 <> 0 then incr k;
+    !k
+  end
 
-let lsb v = if v = 0 then -1 else msb (v land -v)
+(* Number of trailing zeros: position of the least significant set bit. *)
+let ntz v = if v = 0 then -1 else msb (v land -v)
+let lsb = ntz
 let width v = msb v + 1
 
 let support v =

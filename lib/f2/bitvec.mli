@@ -36,6 +36,11 @@ val msb : t -> int
 (** Position of the least significant set bit, or [-1] for the zero vector. *)
 val lsb : t -> int
 
+(** Number of trailing zeros; same as {!lsb} (and [-1] on zero).  The
+    name matches the hardware instruction the word-parallel loops in
+    {!Bitmatrix} are written against. *)
+val ntz : t -> int
+
 (** Number of bits needed to represent [v], i.e. [msb v + 1]. *)
 val width : t -> int
 

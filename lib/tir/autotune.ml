@@ -6,17 +6,45 @@ let run_config machine ~mode ~build ~size cfg =
   let prog = build ~size in
   Engine.run machine ~mode ~num_warps:cfg.num_warps prog
 
-let best machine ~mode ~build ~size =
-  match
-    List.map
-      (fun cfg ->
-        let r = run_config machine ~mode ~build ~size cfg in
-        (Engine.time machine r, (cfg, r)))
-      default_configs
-  with
-  | [] -> invalid_arg "Autotune.best: no configurations"
-  | first :: rest ->
-      snd (List.fold_left (fun (t, b) (t', b') -> if t' < t then (t', b') else (t, b)) first rest)
+(* Configurations are evaluated round-robin by index ([i mod domains])
+   and merged in index order with a strict [<], so the winner — and
+   every tie-break — is identical for any domain count.  Each domain
+   owns private Layout.Memo / Plan_cache tables (they live in
+   [Domain.DLS]), so workers never contend on the caches. *)
+let best ?(domains = 1) machine ~mode ~build ~size =
+  let configs = Array.of_list default_configs in
+  let n = Array.length configs in
+  if n = 0 then invalid_arg "Autotune.best: no configurations";
+  let eval i =
+    let r = run_config machine ~mode ~build ~size configs.(i) in
+    (Engine.time machine r, (configs.(i), r))
+  in
+  let domains = max 1 (min domains n) in
+  let results =
+    if domains = 1 then Array.init n eval
+    else begin
+      let chunk d =
+        let rec go i acc = if i >= n then acc else go (i + domains) ((i, eval i) :: acc) in
+        go d []
+      in
+      let parts =
+        List.init domains (fun d -> Domain.spawn (fun () -> chunk d))
+        |> List.map Domain.join
+      in
+      let out = Array.make n None in
+      List.iter (List.iter (fun (i, r) -> out.(i) <- Some r)) parts;
+      Array.map Option.get out
+    end
+  in
+  let best_t = ref (fst results.(0)) and best_v = ref (snd results.(0)) in
+  for i = 1 to n - 1 do
+    let t, v = results.(i) in
+    if t < !best_t then begin
+      best_t := t;
+      best_v := v
+    end
+  done;
+  !best_v
 
 let tuning_gain machine ~mode ~build ~size =
   let default = run_config machine ~mode ~build ~size { num_warps = 4 } in

@@ -7,8 +7,16 @@ type config = { num_warps : int }
 val default_configs : config list
 
 (** [best machine ~mode ~build ~size] runs the layout engine under each
-    configuration and returns the cheapest one with its result. *)
+    configuration and returns the cheapest one with its result.
+
+    [domains] (default 1) evaluates configurations on that many OCaml 5
+    domains.  Configurations are assigned round-robin by index and the
+    results merged in index order with a strict comparison, so the
+    returned configuration and cost are identical for any domain count;
+    each domain owns private layout/plan caches (see
+    {!Linear_layout.Layout.Memo} and {!Codegen.Plan_cache}). *)
 val best :
+  ?domains:int ->
   Gpusim.Machine.t ->
   mode:Engine.mode ->
   build:(size:int -> Program.t) ->

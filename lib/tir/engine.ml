@@ -80,14 +80,14 @@ let dot_layouts machine ~num_warps ~m ~n ~k ~a_dtype ~b_dtype =
 (* Legacy vectorization: contiguity is only recognized within the
    fastest dimension (Section 5.1). *)
 let legacy_vec layout =
-  let consec = Layout.num_consecutive layout ~in_dim:Dims.register in
+  let consec = Layout.Memo.num_consecutive layout ~in_dim:Dims.register in
   match Layout.out_dims layout with
   | (_, cols_bits) :: _ :: _ when cols_bits > 0 -> min consec (1 lsl cols_bits)
   | _ -> consec
 
 let linear_vec machine layout ~byte_width =
   let cap = machine.Gpusim.Machine.max_vec_bits / (8 * byte_width) in
-  min (Layout.num_consecutive layout ~in_dim:Dims.register) (max 1 cap)
+  min (Layout.Memo.num_consecutive layout ~in_dim:Dims.register) (max 1 cap)
 
 (* {1 The engine} *)
 
@@ -117,7 +117,10 @@ let layout_of prog i =
 (* Instruction and transaction counts for a warp-level global access
    under the given vectorization, summed over all warps. *)
 let global_access_counts layout ~byte_width ~vec =
-  let flat = Layout.flatten_outs layout in
+  (* Hoist the F2 matrix of the flattened layout: [apply] per address is
+     then a handful of word ops, and both the flatten and the matrix are
+     memoized across calls on the same layout. *)
+  let m = Layout.Memo.to_matrix (Layout.Memo.flatten_outs layout) in
   let reg_bits = Layout.in_bits layout Dims.register in
   let lane_bits = Layout.in_bits layout Dims.lane in
   let warps = 1 lsl Layout.in_bits layout Dims.warp in
@@ -128,7 +131,7 @@ let global_access_counts layout ~byte_width ~vec =
     let accesses =
       List.init (1 lsl lane_bits) (fun lane ->
           let hw = (g * vec) lor (lane lsl reg_bits) in
-          (Layout.apply_flat flat hw * byte_width, vec * byte_width))
+          (F2.Bitmatrix.apply m hw * byte_width, vec * byte_width))
     in
     tx := !tx + Gpusim.Coalesce.transactions accesses
   done;
@@ -149,7 +152,7 @@ let convert_to ?(smem_resident = false) st prog ~at ~src ~dst ~dst_kind ~ldmatri
   let byte_width = byte_width_of s.Program.dtype in
   match st.mode with
   | Linear ->
-      let plan = Codegen.Conversion.plan st.machine ~src:src_layout ~dst ~byte_width in
+      let plan = Codegen.Plan_cache.conversion st.machine ~src:src_layout ~dst ~byte_width in
       let c = Codegen.Conversion.cost st.machine plan in
       (match plan.Codegen.Conversion.mechanism with
       | Codegen.Conversion.No_op -> st.noops <- st.noops + 1
@@ -184,7 +187,7 @@ let convert_to ?(smem_resident = false) st prog ~at ~src ~dst ~dst_kind ~ldmatri
             c'
         | Codegen.Conversion.Shared_memory _ when ldmatrix_ok -> (
             match
-              Codegen.Operand_staging.plan st.machine ~src:src_layout ~dst ~byte_width
+              Codegen.Plan_cache.staging st.machine ~src:src_layout ~dst ~byte_width
             with
             | Some staging
               when Gpusim.Cost.estimate st.machine
@@ -245,7 +248,7 @@ let rename_dims_above l ~axis ~delta =
    the original tensor fold to no-ops (the welford case, Section 6.2). *)
 let broadcast_layout l ~shape =
   let rank = Array.length shape in
-  let masks = Layout.free_variable_masks l in
+  let masks = Layout.Memo.free_variable_masks l in
   let free_bits dim =
     let mask = try List.assoc dim masks with Not_found -> 0 in
     ref (F2.Bitvec.support mask)
@@ -394,7 +397,7 @@ let run machine ~mode ?(num_warps = 4) prog =
             match st.mode with
             | Linear ->
                 let plan =
-                  Codegen.Conversion.plan machine ~src:src_layout ~dst:anchor ~byte_width
+                  Codegen.Plan_cache.conversion machine ~src:src_layout ~dst:anchor ~byte_width
                 in
                 Gpusim.Cost.estimate machine (Codegen.Conversion.cost machine plan)
             | Legacy_mode ->
@@ -431,7 +434,7 @@ let run machine ~mode ?(num_warps = 4) prog =
                   | Linear ->
                       Gpusim.Cost.estimate machine
                         (Codegen.Conversion.cost machine
-                           (Codegen.Conversion.plan machine ~src:sl ~dst:l ~byte_width))
+                           (Codegen.Plan_cache.conversion machine ~src:sl ~dst:l ~byte_width))
                   | Legacy_mode ->
                       Gpusim.Cost.estimate machine
                         (Legacy.Convert.cost machine ~src:sl ~dst:l ~byte_width)

@@ -27,6 +27,14 @@ let test_bitvec_fields () =
   check_int "all length" 8 (List.length (Bitvec.all 3));
   Alcotest.(check string) "to_string" "0101" (Bitvec.to_string ~width:4 0b101)
 
+let test_bitvec_ntz () =
+  check_int "ntz" 1 (Bitvec.ntz 0b1010);
+  check_int "ntz one" 0 (Bitvec.ntz 1);
+  check_int "ntz pow2" 3 (Bitvec.ntz 8);
+  check_int "ntz zero" (-1) (Bitvec.ntz 0);
+  check_int "ntz = lsb" (Bitvec.lsb 0b101100) (Bitvec.ntz 0b101100);
+  check_int "ntz top bit" 62 (Bitvec.ntz (1 lsl 62))
+
 (* {1 Bitmatrix} *)
 
 let m rows cols = Bitmatrix.make ~rows (Array.of_list cols)
@@ -182,6 +190,70 @@ let prop_intersection_dim =
       let di = List.length (Subspace.intersection a b) in
       da + db = ds + di)
 
+(* {2 Echelon reference model}
+
+   The list-of-pivots Gaussian elimination that the MSB-indexed
+   [echelonize] replaced, kept as an executable specification: both
+   only ever reduce by the pivot whose MSB matches the current value,
+   so they must agree bit for bit. *)
+
+let ref_reduce pivots v comb =
+  let rec go v comb =
+    if v = 0 then (v, comb)
+    else
+      match List.assoc_opt (Bitvec.msb v) pivots with
+      | Some (pv, pc) -> go (v lxor pv) (comb lxor pc)
+      | None -> (v, comb)
+  in
+  go v comb
+
+let ref_pivots a =
+  let pivots = ref [] in
+  for j = 0 to Bitmatrix.cols a - 1 do
+    let v, comb = ref_reduce !pivots (Bitmatrix.column a j) (Bitvec.unit j) in
+    if v <> 0 then pivots := (Bitvec.msb v, (v, comb)) :: !pivots
+  done;
+  !pivots
+
+let ref_solve a b =
+  let v, comb = ref_reduce (ref_pivots a) b 0 in
+  if v = 0 then Some comb else None
+
+let prop_echelon_rank_matches_reference =
+  QCheck.Test.make ~name:"indexed echelon rank = reference rank" ~count:500 arb_matrix
+    (fun a ->
+      Bitmatrix.echelon_rank (Bitmatrix.echelonize a) = List.length (ref_pivots a))
+
+let prop_solve_matches_reference =
+  QCheck.Test.make ~name:"indexed solve = reference solve (all RHS)" ~count:100 arb_matrix
+    (fun a ->
+      List.for_all
+        (fun b -> Bitmatrix.solve a b = ref_solve a b)
+        (Bitvec.all (Bitmatrix.rows a)))
+
+let prop_solve_with_multi_rhs =
+  QCheck.Test.make ~name:"one echelonize serves every RHS" ~count:100 arb_matrix (fun a ->
+      let e = Bitmatrix.echelonize a in
+      List.for_all
+        (fun b -> Bitmatrix.solve_with e b = Bitmatrix.solve a b)
+        (Bitvec.all (Bitmatrix.rows a)))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:500 arb_matrix (fun a ->
+      Bitmatrix.equal (Bitmatrix.transpose (Bitmatrix.transpose a)) a)
+
+let prop_transpose_entries =
+  QCheck.Test.make ~name:"transpose entries: t[j,i] = a[i,j]" ~count:500 arb_matrix
+    (fun a ->
+      let t = Bitmatrix.transpose a in
+      List.for_all
+        (fun j ->
+          List.for_all
+            (fun i ->
+              Bitvec.bit (Bitmatrix.column a j) i = Bitvec.bit (Bitmatrix.column t i) j)
+            (List.init (Bitmatrix.rows a) Fun.id))
+        (List.init (Bitmatrix.cols a) Fun.id))
+
 let prop_intersection_members =
   let gen_basis = QCheck.Gen.(list_size (int_range 0 4) (int_range 1 63)) in
   QCheck.Test.make ~name:"intersection vectors lie in both spans" ~count:500
@@ -198,6 +270,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_bitvec_basics;
           Alcotest.test_case "fields" `Quick test_bitvec_fields;
+          Alcotest.test_case "ntz" `Quick test_bitvec_ntz;
         ] );
       ( "bitmatrix",
         [
@@ -226,5 +299,10 @@ let () =
             prop_block_diag_divide;
             prop_intersection_dim;
             prop_intersection_members;
+            prop_echelon_rank_matches_reference;
+            prop_solve_matches_reference;
+            prop_solve_with_multi_rhs;
+            prop_transpose_involution;
+            prop_transpose_entries;
           ] );
     ]
