@@ -237,8 +237,78 @@ let engine_cmd =
   Cmd.v (Cmd.info "engine" ~doc:"Run the layout engine on a built-in kernel.")
     Term.(const engine $ machine_arg $ kernel_arg $ autotune_arg)
 
+(* {1 lint} *)
+
+let lint machine kernel_name all conv shape src_kind dst_kind spt tpw warps order bitwidth
+    byte_width json =
+  let entries = ref [] in
+  let record label ds = entries := (label, ds) :: !entries in
+  (if conv then (
+     let mk kind = build_layout ~kind ~shape ~spt ~tpw ~warps ~bitwidth ~order in
+     let src = mk src_kind and dst = mk dst_kind in
+     let ds = Check.convertible ~src ~dst in
+     let ds =
+       if Diagnostics.has_errors ds then ds
+       else
+         let plan = Codegen.Conversion.plan machine ~src ~dst ~byte_width in
+         ds
+         @ Analysis.Bank_check.conversion machine plan
+         @ Analysis.Races.check_plan machine plan
+     in
+     record (Printf.sprintf "%s -> %s" src_kind dst_kind) ds)
+   else
+     let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+     List.iter
+       (fun k ->
+         let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+         let result = Tir.Engine.run machine ~mode:Tir.Engine.Linear prog in
+         record k.Tir.Kernels.name (Tir.Validate.analyze machine prog ~result))
+       kernels);
+  let entries = List.rev !entries in
+  List.iter (fun (label, ds) -> Format.printf "%s: %a@." label Diagnostics.pp_list ds) entries;
+  let flat = List.concat_map snd entries in
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Diagnostics.to_json flat);
+      output_char oc '\n';
+      close_out oc);
+  let errors = Diagnostics.errors flat in
+  Printf.printf "%d diagnostic(s), %d error(s)\n" (List.length flat) (List.length errors);
+  if errors <> [] then exit 1
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Lint every built-in kernel (overrides --kernel).")
+
+let conv_arg =
+  Arg.(
+    value & flag
+    & info [ "conv" ]
+        ~doc:"Lint a single conversion built from --src/--dst instead of a kernel.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the diagnostics as JSON to $(docv).")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static analyzers (races, bank certification, coalescing, broadcast \
+          redundancy) over a kernel's layout assignment or a single conversion; exits 1 on \
+          any error-severity diagnostic.")
+    Term.(
+      const lint $ machine_arg $ kernel_arg $ all_arg $ conv_arg $ shape_arg
+      $ kind_arg "src" "blocked" $ kind_arg "dst" "mma" $ spt_arg $ tpw_arg $ warps_arg
+      $ order_arg $ bitwidth_arg $ byte_width_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "layout_tool" ~doc:"Explore linear layouts over F2 (ASPLOS'26 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd; lint_cmd ]))

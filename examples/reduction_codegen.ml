@@ -59,4 +59,19 @@ let () =
     "\nlegacy would store %d register elements x %d warps = %d shared-memory values;\n"
     regs warps (regs * warps);
   Printf.printf "the linear lowering used %d shared-memory instructions in total.\n"
-    cost.Gpusim.Cost.smem_insts
+    cost.Gpusim.Cost.smem_insts;
+
+  (* The static analyzers (lib/analysis) prove the lowering safe: the
+     cross-warp exchange is barrier-ordered, and dropping the barriers
+     is caught immediately as a read-after-write race. *)
+  Format.printf "\nrace/barrier check: %a@." Diagnostics.pp_list
+    (Analysis.Races.check program);
+  let stripped =
+    {
+      program with
+      Gpusim.Isa.body =
+        List.filter (fun i -> i <> Gpusim.Isa.Bar_sync) program.Gpusim.Isa.body;
+    }
+  in
+  Format.printf "same program with barriers dropped: %a@." Diagnostics.pp_list
+    (Analysis.Races.check stripped)

@@ -1,0 +1,22 @@
+open Linear_layout
+
+let value ?loc ~op ~reduced_later layout =
+  if reduced_later then []
+  else
+    let masks = Layout.Memo.free_variable_masks layout in
+    let mask d = Option.value ~default:0 (List.assoc_opt d masks) in
+    let lint code d what =
+      let m = mask d in
+      if m = 0 then []
+      else
+        [
+          Diagnostics.warning ~code ?loc
+            "%s computes every value %d times across %s (free %s bits 0x%x) and no \
+             reduction deduplicates the copies — compute on the sliced layout and \
+             broadcast the result instead"
+            op
+            (1 lsl F2.Bitvec.popcount m)
+            what d m;
+        ]
+    in
+    lint "LL501" Dims.lane "lanes" @ lint "LL502" Dims.warp "warps"

@@ -1,0 +1,23 @@
+(** Broadcast-redundancy lint.
+
+    A layout's free variables ({!Linear_layout.Layout.free_variable_masks})
+    are the hardware bits whose columns are linearly dependent on
+    earlier ones: flipping them reaches the same logical element, so the
+    lanes/warps they index hold {e duplicated} data and any computation
+    producing the value is repeated.  That duplication is the point when
+    a reduction follows (the deduplicated cross-warp exchange of
+    Section 5.2) or when the value is deliberately broadcast; otherwise
+    it is wasted parallelism.
+
+    - [LL501] (warning): duplicate values across lanes with no
+      downstream reduction;
+    - [LL502] (warning): duplicate values across warps with no
+      downstream reduction. *)
+
+open Linear_layout
+
+(** [value ?loc ~op ~reduced_later layout] lints one computed value.
+    [reduced_later] means the value (transitively) feeds a reduction,
+    which deduplicates the copies. *)
+val value :
+  ?loc:Diagnostics.loc -> op:string -> reduced_later:bool -> Layout.t -> Diagnostics.t list

@@ -1,0 +1,23 @@
+(** Coalescing / vectorization lint for global-memory anchors
+    (Section 5.1's contiguity analysis, applied as a checker).
+
+    - [LL401] (warning): the layout admits narrower vectorization than
+      the machine and register count allow ([num_consecutive] < the
+      achievable width); the message carries a fix-it hint.
+    - [LL402] (warning): the access wastes global-memory bandwidth —
+      the warp touches more 32-byte sectors per instruction than the
+      bytes it moves require. *)
+
+open Linear_layout
+
+(** [access machine ?loc ~op ~layout ~byte_width ()] lints one
+    load/store anchor with the given distributed layout.  [op] names
+    the operation in messages (["load"]/["store"]). *)
+val access :
+  Gpusim.Machine.t ->
+  ?loc:Diagnostics.loc ->
+  op:string ->
+  layout:Layout.t ->
+  byte_width:int ->
+  unit ->
+  Diagnostics.t list

@@ -1,0 +1,5 @@
+(* The diagnostics core physically lives in [Linear_layout] so that the
+   layout well-formedness checks ([Check]) report through it without a
+   dependency cycle; [Analysis.Diagnostics] is the canonical name for
+   analysis passes and their consumers. *)
+include Linear_layout.Diagnostics

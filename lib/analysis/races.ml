@@ -1,0 +1,140 @@
+open Linear_layout
+
+(* Per-address access history since the last barrier. *)
+type history = {
+  writers : (int, int * int * int) Hashtbl.t;  (* addr -> instr, warp, lane *)
+  readers : (int, int * int) Hashtbl.t;  (* addr -> instr, warp *)
+}
+
+let check ?(duplicate_stores_benign = false) (p : Gpusim.Isa.program) =
+  let h = { writers = Hashtbl.create 256; readers = Hashtbl.create 256 } in
+  let diags = ref [] in
+  (* One report per (kind, instruction pair): a single missing barrier
+     would otherwise repeat once per lane. *)
+  let seen = Hashtbl.create 16 in
+  let add key d =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      diags := d :: !diags
+    end
+  in
+  let smem_since_bar = ref false in
+  let iter_addrs slots addr f =
+    for w = 0 to p.Gpusim.Isa.warps - 1 do
+      for l = 0 to p.Gpusim.Isa.lanes - 1 do
+        List.iteri (fun i _ -> f ~warp:w ~lane:l (addr.(w).(l) + i)) slots
+      done
+    done
+  in
+  List.iteri
+    (fun idx instr ->
+      match instr with
+      | Gpusim.Isa.Bar_sync ->
+          if not !smem_since_bar then
+            add (`Bar idx)
+              (Diagnostics.warning ~code:"LL210" ~loc:(Diagnostics.Isa_instr idx)
+                 "redundant bar.sync: no shared-memory traffic since the previous \
+                  synchronization point");
+          Hashtbl.reset h.writers;
+          Hashtbl.reset h.readers;
+          smem_since_bar := false
+      | Gpusim.Isa.St_shared { slots; addr; byte_width = _ } ->
+          smem_since_bar := true;
+          iter_addrs slots addr (fun ~warp ~lane a ->
+              (match Hashtbl.find_opt h.writers a with
+              | _ when duplicate_stores_benign -> ()
+              | Some (idx', warp', _) when warp' <> warp ->
+                  add
+                    (`Ww (idx', idx))
+                    (Diagnostics.error ~code:"LL202" ~loc:(Diagnostics.Isa_instr idx)
+                       "write-write race on smem[%d]: warp %d (instr %d) and warp %d both \
+                        store with no intervening bar.sync"
+                       a warp' idx' warp)
+              | Some (idx', _, lane') when idx' = idx && lane' <> lane ->
+                  add (`Wwl idx)
+                    (Diagnostics.error ~code:"LL203" ~loc:(Diagnostics.Isa_instr idx)
+                       "lanes %d and %d of warp %d store to smem[%d] in the same \
+                        instruction: the committed value is undefined"
+                       lane' lane warp a)
+              | _ -> ());
+              (match Hashtbl.find_opt h.readers a with
+              | Some (idx', warp') when warp' <> warp ->
+                  add
+                    (`War (idx', idx))
+                    (Diagnostics.error ~code:"LL204" ~loc:(Diagnostics.Isa_instr idx)
+                       "write-after-read race on smem[%d]: warp %d stores over a value \
+                        warp %d loaded at instr %d with no intervening bar.sync"
+                       a warp warp' idx')
+              | _ -> ());
+              Hashtbl.replace h.writers a (idx, warp, lane))
+      | Gpusim.Isa.Ld_shared { slots; addr; byte_width = _ } ->
+          smem_since_bar := true;
+          iter_addrs slots addr (fun ~warp ~lane:_ a ->
+              (match Hashtbl.find_opt h.writers a with
+              | Some (idx', warp', _) when warp' <> warp ->
+                  add
+                    (`Raw (idx', idx))
+                    (Diagnostics.error ~code:"LL201" ~loc:(Diagnostics.Isa_instr idx)
+                       "read-after-write race on smem[%d]: warp %d loads a value stored \
+                        by warp %d (instr %d) with no intervening bar.sync"
+                       a warp warp' idx')
+              | _ -> ());
+              if not (Hashtbl.mem h.readers a) then Hashtbl.replace h.readers a (idx, warp))
+      | Gpusim.Isa.Mov _ | Gpusim.Isa.Sel _ | Gpusim.Isa.Scatter _ | Gpusim.Isa.Shfl_idx _
+      | Gpusim.Isa.Bin _ ->
+          ())
+    p.Gpusim.Isa.body;
+  List.rev !diags
+
+let span_of_map l =
+  F2.Subspace.echelon_basis
+    (List.concat_map (fun (d, _) -> Layout.flat_columns l d) (Layout.in_dims l))
+
+let alias_dim ~mem ~src ~dst =
+  let mem_inv = Layout.Memo.invert (Layout.Memo.flatten_outs mem) in
+  let addr_span layout =
+    span_of_map (Layout.Memo.compose mem_inv (Layout.Memo.flatten_outs layout))
+  in
+  F2.Subspace.dim (F2.Subspace.intersection (addr_span src) (addr_span dst))
+
+(* Plan-level phase check: from the layouts alone, the store and load
+   address images are subspaces and always intersect, so any store
+   phase followed by a load phase must be separated by a barrier. *)
+let phase_check ~alias (p : Gpusim.Isa.program) =
+  let rec scan idx last_store = function
+    | [] -> []
+    | Gpusim.Isa.Bar_sync :: rest -> scan (idx + 1) None rest
+    | Gpusim.Isa.St_shared _ :: rest -> scan (idx + 1) (Some idx) rest
+    | Gpusim.Isa.Ld_shared _ :: rest -> (
+        match last_store with
+        | Some st ->
+            [
+              Diagnostics.error ~code:"LL205" ~loc:(Diagnostics.Isa_instr idx)
+                "store phase (instr %d) and load phase share a %d-dimensional set of \
+                 shared-memory addresses but no bar.sync separates them"
+                st alias;
+            ]
+        | None -> scan (idx + 1) last_store rest)
+    | _ :: rest -> scan (idx + 1) last_store rest
+  in
+  scan 0 None p.Gpusim.Isa.body
+
+let check_plan machine (plan : Codegen.Conversion.plan) =
+  match plan.Codegen.Conversion.mechanism with
+  | Codegen.Conversion.Global_roundtrip -> []
+  | Codegen.Conversion.Shared_memory sw ->
+      let program, _ = Codegen.Lower.conversion machine plan in
+      let alias =
+        alias_dim ~mem:sw.Codegen.Swizzle_opt.mem ~src:plan.Codegen.Conversion.src
+          ~dst:plan.Codegen.Conversion.dst
+      in
+      (* The memory layout is invertible, so two stores colliding on an
+         address provably hold the same logical element — i.e. the same
+         value (the source layout replicates it across the colliding
+         warps/lanes).  Such collisions are redundant, not racy; the
+         broadcast lint reports the redundancy at the value's source. *)
+      let duplicate_stores_benign = Layout.is_invertible sw.Codegen.Swizzle_opt.mem in
+      phase_check ~alias program @ check ~duplicate_stores_benign program
+  | _ ->
+      let program, _ = Codegen.Lower.conversion machine plan in
+      check program

@@ -1,9 +1,14 @@
-type severity = Error | Warning
+type severity = Diagnostics.severity = Error | Warning
 
-type issue = { severity : severity; message : string }
+type issue = Diagnostics.t = {
+  code : string;
+  severity : severity;
+  loc : Diagnostics.loc;
+  message : string;
+}
 
-let err fmt = Format.kasprintf (fun message -> { severity = Error; message }) fmt
-let warn fmt = Format.kasprintf (fun message -> { severity = Warning; message }) fmt
+let err ~code fmt = Diagnostics.error ~code fmt
+let warn ~code fmt = Diagnostics.warning ~code fmt
 
 let columns_with_names l =
   Layout.in_dims l
@@ -33,7 +38,7 @@ let distributed l =
   if not (Layout.is_surjective l) then begin
     let misses = missing_elements l in
     add
-      (err "layout is not surjective: no hardware point holds %s%s"
+      (err ~code:"LL101" "layout is not surjective: no hardware point holds %s%s"
          (match misses with v :: _ -> describe_flat l v | [] -> "some elements")
          (if List.length misses > 1 then " (and others)" else ""))
   end;
@@ -42,7 +47,7 @@ let distributed l =
     (fun ((d, k), c) ->
       if F2.Bitvec.popcount c > 1 then
         add
-          (err
+          (err ~code:"LL102"
              "column %s[%d] has %d set bits (%s) — distributed layouts are index \
               permutations (Def 4.10)"
              d k (F2.Bitvec.popcount c) (describe_flat l c)))
@@ -54,13 +59,17 @@ let distributed l =
         (match Hashtbl.find_opt seen c with
         | Some (d', k') ->
             add
-              (err "columns %s[%d] and %s[%d] both map to %s — duplicated data outside \
-                    broadcasting"
+              (err ~code:"LL103"
+                 "columns %s[%d] and %s[%d] both map to %s — duplicated data outside \
+                  broadcasting"
                  d' k' d k (describe_flat l c))
         | None -> ());
         Hashtbl.replace seen c (d, k)
       end
-      else add (warn "column %s[%d] is zero: this bit broadcasts (duplicated data)" d k))
+      else
+        add
+          (warn ~code:"LL104" "column %s[%d] is zero: this bit broadcasts (duplicated data)" d
+             k))
     cols;
   List.rev !issues
 
@@ -69,18 +78,21 @@ let memory l =
   let add i = issues := i :: !issues in
   if Layout.total_in_bits l <> Layout.total_out_bits l then
     add
-      (err "memory layout must be square: %d offset bits vs %d tensor bits"
+      (err ~code:"LL110" "memory layout must be square: %d offset bits vs %d tensor bits"
          (Layout.total_in_bits l) (Layout.total_out_bits l))
   else if not (Layout.is_invertible l) then
-    add (err "memory layout is not invertible: distinct offsets alias the same element");
+    add
+      (err ~code:"LL111"
+         "memory layout is not invertible: distinct offsets alias the same element");
   List.iter
     (fun ((d, k), c) ->
       let pc = F2.Bitvec.popcount c in
-      if pc = 0 then add (err "offset bit %s[%d] maps to nothing" d k)
+      if pc = 0 then add (err ~code:"LL112" "offset bit %s[%d] maps to nothing" d k)
       else if pc > 2 then
         add
-          (warn "offset bit %s[%d] has %d set bits — beyond the xor-swizzle family \
-                 (Def 4.14 allows 1 or 2)"
+          (warn ~code:"LL113"
+             "offset bit %s[%d] has %d set bits — beyond the xor-swizzle family \
+              (Def 4.14 allows 1 or 2)"
              d k pc))
     (columns_with_names l);
   List.rev !issues
@@ -90,29 +102,22 @@ let convertible ~src ~dst =
   let add i = issues := i :: !issues in
   if Layout.out_dims src <> Layout.out_dims dst then
     add
-      (err "layouts cover different logical spaces (%s vs %s)"
+      (err ~code:"LL120" "layouts cover different logical spaces (%s vs %s)"
          (String.concat "x" (List.map fst (Layout.out_dims src)))
          (String.concat "x" (List.map fst (Layout.out_dims dst))));
   List.iter
     (fun d ->
       if Layout.in_size src d <> Layout.in_size dst d then
         add
-          (err "%s footprint differs: %d vs %d — conversions cannot change the CTA shape" d
+          (err ~code:"LL121"
+             "%s footprint differs: %d vs %d — conversions cannot change the CTA shape" d
              (Layout.in_size src d) (Layout.in_size dst d)))
     [ Dims.lane; Dims.warp; Dims.block ];
   if !issues = [] && Layout.flat_columns src Dims.block <> Layout.flat_columns dst Dims.block
-  then add (warn "CTA columns differ: the conversion needs distributed (global) memory");
+  then
+    add
+      (warn ~code:"LL122" "CTA columns differ: the conversion needs distributed (global) memory");
   List.rev !issues
 
-let errors = List.filter (fun i -> i.severity = Error)
-
-let pp ppf issues =
-  if issues = [] then Format.fprintf ppf "ok"
-  else
-    Format.pp_print_list
-      ~pp_sep:Format.pp_print_newline
-      (fun ppf i ->
-        Format.fprintf ppf "%s: %s"
-          (match i.severity with Error -> "error" | Warning -> "warning")
-          i.message)
-      ppf issues
+let errors = Diagnostics.errors
+let pp = Diagnostics.pp_list

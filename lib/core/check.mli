@@ -3,11 +3,26 @@
     [Layout.is_distributed] and friends answer yes/no; this module
     explains {e why} a layout fails a family's characterization —
     the kind of error message a compiler built on linear layouts owes
-    its users (Section 3's robustness claim). *)
+    its users (Section 3's robustness claim).
 
-type severity = Error | Warning
+    Issues are {!Diagnostics.t} values with [LL1xx] codes:
+    - [LL101] not surjective, [LL102] multi-bit column, [LL103]
+      duplicated column, [LL104] broadcast (zero) column — the
+      distributed characterization of Definition 4.10;
+    - [LL110] non-square, [LL111] non-invertible, [LL112] zero offset
+      column, [LL113] column beyond the xor-swizzle family — the memory
+      characterization of Definition 4.14;
+    - [LL120]–[LL122] convertibility within a CTA. *)
 
-type issue = { severity : severity; message : string }
+type severity = Diagnostics.severity = Error | Warning
+
+(** Deprecated alias: new code should use {!Diagnostics.t} directly. *)
+type issue = Diagnostics.t = {
+  code : string;
+  severity : severity;
+  loc : Diagnostics.loc;
+  message : string;
+}
 
 (** Check the distributed-layout characterization (Definition 4.10):
     surjective, every column at most one set bit, no repeated non-zero
@@ -24,4 +39,6 @@ val memory : Layout.t -> issue list
 val convertible : src:Layout.t -> dst:Layout.t -> issue list
 
 val errors : issue list -> issue list
+
+(** Deprecated alias for {!Diagnostics.pp_list}. *)
 val pp : Format.formatter -> issue list -> unit

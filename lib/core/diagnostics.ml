@@ -1,0 +1,61 @@
+type severity = Error | Warning
+
+type loc = No_loc | Tir_instr of int | Isa_instr of int | Plan of string
+
+type t = { code : string; severity : severity; loc : loc; message : string }
+
+let make severity ~code ?(loc = No_loc) fmt =
+  Format.kasprintf (fun message -> { code; severity; loc; message }) fmt
+
+let error ~code ?loc fmt = make Error ~code ?loc fmt
+let warning ~code ?loc fmt = make Warning ~code ?loc fmt
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let with_loc loc d = if d.loc = No_loc then { d with loc } else d
+
+let pp_loc ppf = function
+  | No_loc -> ()
+  | Tir_instr i -> Format.fprintf ppf "%%%d: " i
+  | Isa_instr i -> Format.fprintf ppf "[%d]: " i
+  | Plan name -> Format.fprintf ppf "{%s}: " name
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]: %a%s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code pp_loc d.loc d.message
+
+let pp_list ppf = function
+  | [] -> Format.fprintf ppf "ok"
+  | ds -> Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf ds
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let loc_json = function
+  | No_loc -> "null"
+  | Tir_instr i -> Printf.sprintf "{\"tir_instr\":%d}" i
+  | Isa_instr i -> Printf.sprintf "{\"isa_instr\":%d}" i
+  | Plan name -> Printf.sprintf "{\"plan\":\"%s\"}" (json_escape name)
+
+let to_json ds =
+  let one d =
+    Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+      (json_escape d.code)
+      (match d.severity with Error -> "error" | Warning -> "warning")
+      (loc_json d.loc) (json_escape d.message)
+  in
+  "[" ^ String.concat "," (List.map one ds) ^ "]"

@@ -6,6 +6,7 @@ type conversion_info = {
   at : Program.id;
   mechanism : string;
   conv_cost : Gpusim.Cost.t;
+  plan : Codegen.Conversion.plan option;
 }
 
 type result = {
@@ -204,6 +205,7 @@ let convert_to ?(smem_resident = false) st prog ~at ~src ~dst ~dst_kind ~ldmatri
             at;
             mechanism = Codegen.Conversion.mechanism_name plan.Codegen.Conversion.mechanism;
             conv_cost = c;
+            plan = Some plan;
           }
           :: st.convs
   | Legacy_mode ->
@@ -219,7 +221,8 @@ let convert_to ?(smem_resident = false) st prog ~at ~src ~dst ~dst_kind ~ldmatri
         st.local_stores <- st.local_stores + 1;
         st.local_loads <- st.local_loads + 1;
         Gpusim.Cost.add st.total c;
-        st.convs <- { at; mechanism = "shared memory (padded)"; conv_cost = c } :: st.convs
+        st.convs <-
+          { at; mechanism = "shared memory (padded)"; conv_cost = c; plan = None } :: st.convs
       end
 
 let sliced_kind = function

@@ -17,6 +17,9 @@ type conversion_info = {
   at : Program.id;
   mechanism : string;
   conv_cost : Gpusim.Cost.t;
+  plan : Codegen.Conversion.plan option;
+      (** the full plan in [Linear] mode, for downstream static
+          analysis; [None] for the legacy baseline's padded round trips *)
 }
 
 type result = {

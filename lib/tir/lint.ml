@@ -1,0 +1,80 @@
+open Linear_layout
+
+(* Backward may-feed-a-reduction dataflow: a value whose copies are
+   deduplicated by a downstream reduce (or consumed by a dot, whose
+   operands are deliberately replicated across the k fragments) is not
+   redundantly broadcast.  One reverse pass suffices because programs
+   are SSA and uses always have larger ids than defs. *)
+let feeds_reduction prog =
+  let n = Program.length prog in
+  let feeds = Array.make n false in
+  for i = n - 1 downto 0 do
+    let mark s = feeds.(s) <- true in
+    match (Program.instr prog i).Program.node with
+    | Program.Reduce { src; _ } | Program.Scan { src; _ } -> mark src
+    | Program.Dot { a; b } ->
+        mark a;
+        mark b
+    | node when feeds.(i) -> (
+        match node with
+        | Program.Elementwise { srcs; _ } -> List.iter mark srcs
+        | Program.Trans { src; _ }
+        | Program.Reshape { src }
+        | Program.Expand_dims { src; _ }
+        | Program.Broadcast { src }
+        | Program.Split { src; _ }
+        | Program.Convert { src } ->
+            mark src
+        | Program.Join { a; b } ->
+            mark a;
+            mark b
+        | Program.Gather { src; index; _ } ->
+            mark src;
+            mark index
+        | _ -> ())
+    | _ -> ()
+  done;
+  feeds
+
+let instruction_passes machine prog =
+  let feeds = feeds_reduction prog in
+  let diags = ref [] in
+  let add ds = diags := List.rev_append ds !diags in
+  Array.iteri
+    (fun i (ins : Program.instr) ->
+      match ins.Program.layout with
+      | None -> ()
+      | Some layout -> (
+          let loc = Diagnostics.Tir_instr i in
+          let byte_width = max 1 (Tensor_lib.Dtype.bits ins.Program.dtype / 8) in
+          match ins.Program.node with
+          | Program.Load _ ->
+              add (Analysis.Coalesce_lint.access machine ~loc ~op:"load" ~layout ~byte_width ())
+          | Program.Store _ ->
+              add (Analysis.Coalesce_lint.access machine ~loc ~op:"store" ~layout ~byte_width ())
+          | Program.Elementwise { name; _ } ->
+              add
+                (Analysis.Broadcast_lint.value ~loc
+                   ~op:(Printf.sprintf "elementwise %s" name)
+                   ~reduced_later:feeds.(i) layout)
+          | Program.Scan _ ->
+              add
+                (Analysis.Broadcast_lint.value ~loc ~op:"scan" ~reduced_later:feeds.(i)
+                   layout)
+          | _ -> ()))
+    (Program.instrs prog);
+  List.rev !diags
+
+let conversion_passes machine (result : Engine.result) =
+  List.concat_map
+    (fun (c : Engine.conversion_info) ->
+      match c.Engine.plan with
+      | None -> []
+      | Some plan ->
+          Analysis.Bank_check.conversion machine plan
+          @ Analysis.Races.check_plan machine plan
+          |> List.map (Diagnostics.with_loc (Diagnostics.Tir_instr c.Engine.at)))
+    result.Engine.conversions
+
+let passes machine prog ~result =
+  instruction_passes machine prog @ conversion_passes machine result

@@ -1,8 +1,8 @@
 open Linear_layout
 
-type issue = { at : Program.id; message : string }
+type issue = Diagnostics.t
 
-let issue at fmt = Format.kasprintf (fun message -> { at; message }) fmt
+let err at ~code fmt = Diagnostics.error ~code ~loc:(Diagnostics.Tir_instr at) fmt
 
 let shape_of_layout l =
   Layout.out_dims l
@@ -29,16 +29,16 @@ let program prog =
   Array.iteri
     (fun i (ins : Program.instr) ->
       match layout_of i with
-      | None -> add (issue i "no layout assigned")
+      | None -> add (err i ~code:"LL601" "no layout assigned")
       | Some l -> (
           if not (covers_shape l ins.Program.shape) then
-            add (issue i "layout does not cover the instruction's shape");
-          if not (Layout.is_surjective l) then add (issue i "layout is not surjective");
+            add (err i ~code:"LL602" "layout does not cover the instruction's shape");
+          if not (Layout.is_surjective l) then
+            add (err i ~code:"LL603" "layout is not surjective");
           List.iter
             (fun iss ->
-              if iss.Check.severity = Check.Error then
-                add (issue i "%s" iss.Check.message))
-            (Check.distributed l);
+              add (Diagnostics.with_loc (Diagnostics.Tir_instr i) iss))
+            (Check.errors (Check.distributed l));
           match ins.Program.node with
           | Program.Trans { src; perm } -> (
               match layout_of src with
@@ -50,13 +50,13 @@ let program prog =
                   in
                   let expected = if spec = [] then ls else Layout.exchange_out_names ls spec in
                   if not (Layout.equal l expected) then
-                    add (issue i "transpose layout is not the renamed input layout")
+                    add (err i ~code:"LL605" "transpose layout is not the renamed input layout")
               | None -> ())
           | Program.Reshape { src } -> (
               match layout_of src with
               | Some ls ->
                   if not (same_matrix l ls) then
-                    add (issue i "reshape changed the flattened layout matrix")
+                    add (err i ~code:"LL606" "reshape changed the flattened layout matrix")
               | None -> ())
           | Program.Expand_dims { src; _ } | Program.Split { src; _ } -> (
               (* The flattened matrix may only lose columns (split) or
@@ -68,7 +68,7 @@ let program prog =
                   if
                     F2.Bitmatrix.rank (Layout.to_matrix l)
                     > F2.Bitmatrix.rank (Layout.to_matrix ls)
-                  then add (issue i "shape op increased the layout's rank")
+                  then add (err i ~code:"LL607" "shape op increased the layout's rank")
               | None -> ())
           | Program.Reduce { src; axis } -> (
               match layout_of src with
@@ -92,7 +92,7 @@ let program prog =
                     not
                       (subset (cols l Dims.lane) (cols sliced Dims.lane)
                       && subset (cols l Dims.warp) (cols sliced Dims.warp))
-                  then add (issue i "reduction result does not slice the input layout")
+                  then add (err i ~code:"LL608" "reduction result does not slice the input layout")
               | None -> ())
           | Program.Broadcast { src } -> (
               match layout_of src with
@@ -119,19 +119,28 @@ let program prog =
                     img (List.fold_left (fun acc d -> Layout.remove_out_dim acc (Dims.dim d)) ls grown)
                   in
                   if not (F2.Subspace.equal_span back_img src_img) then
-                    add (issue i "broadcast does not extend the input layout")
+                    add (err i ~code:"LL609" "broadcast does not extend the input layout")
               | None -> ())
           | _ -> ()))
     (Program.instrs prog);
   List.rev !issues
 
-let pp ppf issues =
-  Format.pp_print_list
-    ~pp_sep:Format.pp_print_newline
-    (fun ppf i -> Format.fprintf ppf "%%%d: %s" i.at i.message)
-    ppf issues
+let pp = Diagnostics.pp_list
 
-let run_and_validate machine ~mode ?num_warps prog =
+exception Invalid of Diagnostics.t list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid ds ->
+        Some (Format.asprintf "layout validation failed:@.%a" Diagnostics.pp_list ds)
+    | _ -> None)
+
+let analyze machine prog ~result = program prog @ Lint.passes machine prog ~result
+
+(* [analyze] the function is shadowed by the flag below. *)
+let analyze_program = analyze
+
+let run_and_validate machine ~mode ?num_warps ?(analyze = false) prog =
   let r = Engine.run machine ~mode ?num_warps prog in
   match mode with
   | Engine.Legacy_mode ->
@@ -141,6 +150,7 @@ let run_and_validate machine ~mode ?num_warps prog =
          verified. *)
       r
   | Engine.Linear -> (
-      match program prog with
-      | [] -> r
-      | issues -> failwith (Format.asprintf "layout validation failed:@.%a" pp issues))
+      let diags =
+        if analyze then analyze_program machine prog ~result:r else program prog
+      in
+      match Diagnostics.errors diags with [] -> r | errors -> raise (Invalid errors))

@@ -3,26 +3,49 @@
     the kind of verifier pass a production compiler runs after layout
     assignment.
 
-    Checks per instruction:
-    - a layout exists, covers the instruction's shape, and is
-      surjective;
-    - shape operations relate input and output layouts by the
-      operation's index map (transposes rename, reshapes flatten,
-      expand/broadcast/slice preserve the non-broadcast structure);
-    - reductions produce a slice of the input's layout;
-    - every layout passes {!Linear_layout.Check.distributed} without
-      errors. *)
+    Checks per instruction (codes [LL6xx], plus re-emitted [LL1xx]
+    well-formedness errors from {!Linear_layout.Check.distributed}):
+    - [LL601] no layout assigned;
+    - [LL602] the layout does not cover the instruction's shape;
+    - [LL603] the layout is not surjective;
+    - [LL605] a transpose's layout is not the renamed input layout;
+    - [LL606] a reshape changed the flattened layout matrix;
+    - [LL607] an expand/split increased the layout's rank;
+    - [LL608] a reduction's result does not slice the input layout;
+    - [LL609] a broadcast does not extend the input layout. *)
 
-type issue = { at : Program.id; message : string }
+open Linear_layout
 
-val program : Program.t -> issue list
+type issue = Diagnostics.t
+(** @deprecated alias kept for callers of the pre-diagnostics API. *)
 
-(** [run_and_validate machine ~mode prog] = engine + validation;
-    raises [Failure] listing the issues if any.  Only linear-mode
+val program : Program.t -> Diagnostics.t list
+
+(** [analyze machine prog ~result] = {!program} plus the full
+    {!Lint.passes} sweep (coalescing, broadcast redundancy, bank
+    certification, race checking) over the assignment recorded by
+    [result = Engine.run ... prog]. *)
+val analyze : Gpusim.Machine.t -> Program.t -> result:Engine.result -> Diagnostics.t list
+
+(** Raised by {!run_and_validate} with the error-severity diagnostics;
+    the registered printer renders them with codes and instruction
+    ids. *)
+exception Invalid of Diagnostics.t list
+
+(** [run_and_validate machine ~mode prog] = engine + validation; raises
+    {!Invalid} with the rendered diagnostics if any check fails.  With
+    [~analyze:true] (default [false]) the {!Lint} passes also run and
+    their error-severity findings fail validation too.  Only linear-mode
     assignments are verified: the legacy baseline rewrites unsupported
     layouts in place (its forced normalization conversions), so the
     per-op relations are not observable on its final state. *)
 val run_and_validate :
-  Gpusim.Machine.t -> mode:Engine.mode -> ?num_warps:int -> Program.t -> Engine.result
+  Gpusim.Machine.t ->
+  mode:Engine.mode ->
+  ?num_warps:int ->
+  ?analyze:bool ->
+  Program.t ->
+  Engine.result
 
-val pp : Format.formatter -> issue list -> unit
+(** @deprecated use {!Linear_layout.Diagnostics.pp_list}. *)
+val pp : Format.formatter -> Diagnostics.t list -> unit

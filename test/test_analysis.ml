@@ -1,0 +1,273 @@
+(* Tests for the lib/analysis static-analysis subsystem: fault
+   injection (dropped barriers, perturbed swizzles), certifier
+   agreement with the brute-force bank simulator, and cleanliness of
+   every shipped kernel's layout assignment. *)
+
+open Linear_layout
+
+let check_bool = Alcotest.(check bool)
+let m = Gpusim.Machine.gh200
+let has_code c ds = List.exists (fun (d : Diagnostics.t) -> d.Diagnostics.code = c) ds
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* A layout pair whose conversion must go through shared memory: the
+   warps tile rows on one side and columns on the other. *)
+let smem_pair () =
+  let shape = [| 32; 32 |] in
+  let src = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 shape in
+  let dst =
+    Blocked.make
+      {
+        shape;
+        size_per_thread = [| 4; 1 |];
+        threads_per_warp = [| 8; 4 |];
+        warps_per_cta = [| 1; 4 |];
+        order = [| 0; 1 |];
+      }
+  in
+  (src, dst)
+
+let smem_plan () =
+  let src, dst = smem_pair () in
+  let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  (match plan.Codegen.Conversion.mechanism with
+  | Codegen.Conversion.Shared_memory _ -> ()
+  | _ -> Alcotest.fail "expected a shared-memory plan");
+  plan
+
+(* {1 Races} *)
+
+let test_clean_plan () =
+  let plan = smem_plan () in
+  let ds = Analysis.Races.check_plan m plan @ Analysis.Bank_check.conversion m plan in
+  check_bool "clean plan has no analysis errors" true (Diagnostics.errors ds = [])
+
+let test_dropped_barrier () =
+  let plan = smem_plan () in
+  let program, _ = Codegen.Lower.conversion m plan in
+  check_bool "lowering emits a barrier" true
+    (List.mem Gpusim.Isa.Bar_sync program.Gpusim.Isa.body);
+  check_bool "intact program is race-free" true
+    (Diagnostics.errors (Analysis.Races.check program) = []);
+  let stripped =
+    {
+      program with
+      Gpusim.Isa.body =
+        List.filter (fun i -> i <> Gpusim.Isa.Bar_sync) program.Gpusim.Isa.body;
+    }
+  in
+  check_bool "dropped barrier is flagged as LL201" true
+    (has_code "LL201" (Analysis.Races.check stripped))
+
+let test_waw_flagged_and_suppressed () =
+  (* Two warps store to the same address: a race in general, benign
+     when the caller proves both write the same value. *)
+  let st =
+    Gpusim.Isa.St_shared { slots = [ 0 ]; addr = [| [| 0 |]; [| 0 |] |]; byte_width = 4 }
+  in
+  let p = { Gpusim.Isa.warps = 2; lanes = 1; smem_elems = 4; body = [ st ] } in
+  check_bool "cross-warp WAW flagged" true (has_code "LL202" (Analysis.Races.check p));
+  check_bool "suppressed when proven same-value" true
+    (Analysis.Races.check ~duplicate_stores_benign:true p = [])
+
+let test_same_instr_lane_overlap () =
+  let st =
+    Gpusim.Isa.St_shared { slots = [ 0 ]; addr = [| [| 3; 3 |] |]; byte_width = 4 }
+  in
+  let p = { Gpusim.Isa.warps = 1; lanes = 2; smem_elems = 4; body = [ st ] } in
+  check_bool "two lanes, one address, one instruction -> LL203" true
+    (has_code "LL203" (Analysis.Races.check p))
+
+let test_redundant_barrier () =
+  let p =
+    { Gpusim.Isa.warps = 1; lanes = 32; smem_elems = 4; body = [ Gpusim.Isa.Bar_sync ] }
+  in
+  check_bool "barrier with no traffic -> LL210 warning" true
+    (has_code "LL210" (Analysis.Races.check p));
+  check_bool "LL210 is only a warning" true
+    (Diagnostics.errors (Analysis.Races.check p) = [])
+
+(* {1 Bank certification} *)
+
+let test_perturbed_swizzle () =
+  let src, dst = smem_pair () in
+  let byte_width = 4 in
+  let s = Codegen.Swizzle_opt.optimal m ~src ~dst ~byte_width in
+  check_bool "the optimal swizzle certifies" true
+    (Diagnostics.errors (Analysis.Bank_check.swizzle m ~src ~dst ~byte_width s) = []);
+  (* Un-swizzle the memory layout (keep the vectorization columns, lay
+     the rest out linearly): the stored prediction no longer matches
+     the simulator, which the certifier must treat as an analyzer
+     error. *)
+  let vec = s.Codegen.Swizzle_opt.vec in
+  let span = F2.Subspace.echelon_basis vec in
+  let rest =
+    List.init 10 (fun i -> 1 lsl i)
+    |> List.filter (fun c -> not (F2.Subspace.mem span c))
+  in
+  let plain = Shared.of_basis_columns ~shape:[| 32; 32 |] (vec @ rest) in
+  let s' = { s with Codegen.Swizzle_opt.mem = plain } in
+  let ds = Analysis.Bank_check.swizzle m ~src ~dst ~byte_width s' in
+  check_bool "perturbed swizzle -> LL301" true (has_code "LL301" ds)
+
+(* {1 TIR wiring} *)
+
+let test_kernels_clean () =
+  List.iter
+    (fun (k : Tir.Kernels.kernel) ->
+      let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+      let result = Tir.Engine.run m ~mode:Tir.Engine.Linear prog in
+      let ds = Tir.Validate.analyze m prog ~result in
+      check_bool (k.Tir.Kernels.name ^ " has no analysis errors") true
+        (Diagnostics.errors ds = []))
+    Tir.Kernels.all
+
+let test_run_and_validate_analyze () =
+  let k = Tir.Kernels.find "softmax" in
+  let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+  ignore (Tir.Validate.run_and_validate m ~mode:Tir.Engine.Linear ~analyze:true prog)
+
+let test_validate_codes () =
+  (* A corrupted transpose assignment gets the dedicated code and the
+     instruction id survives into the rendered exception. *)
+  let p = Tir.Program.create () in
+  let x = Tir.Program.load p ~shape:[| 16; 16 |] ~dtype:Tensor_lib.Dtype.F32 () in
+  let t = Tir.Program.trans p x ~perm:[| 1; 0 |] in
+  ignore (Tir.Program.store p t);
+  ignore (Tir.Engine.run m ~mode:Tir.Engine.Linear p);
+  (Tir.Program.instr p t).Tir.Program.layout <- (Tir.Program.instr p x).Tir.Program.layout;
+  let ds = Tir.Validate.program p in
+  check_bool "corrupted transpose -> LL605" true (has_code "LL605" ds);
+  let rendered = Printexc.to_string (Tir.Validate.Invalid ds) in
+  check_bool "rendered exception carries the code" true (contains rendered "LL605");
+  check_bool "rendered exception carries the instruction id" true
+    (contains rendered (Printf.sprintf "%%%d" t))
+
+(* {1 Properties} *)
+
+(* Random CTA-wide blocked pairs: warps tile the tensor differently on
+   each side, so conversions regularly go through shared memory. *)
+let arb_cta_pair =
+  let gen =
+    QCheck.Gen.(
+      let* size = oneofl [ 32; 64 ] in
+      let layout_gen =
+        let* spt1 = oneofl [ 1; 2; 4 ] in
+        let* ord = oneofl [ [| 1; 0 |]; [| 0; 1 |] ] in
+        let* wpc = oneofl [ [| 1; 4 |]; [| 4; 1 |]; [| 2; 2 |] ] in
+        let spt = if ord.(0) = 1 then [| 1; spt1 |] else [| spt1; 1 |] in
+        let tpw = if ord.(0) = 1 then [| 4; 8 |] else [| 8; 4 |] in
+        return
+          (Blocked.make
+             {
+               shape = [| size; size |];
+               size_per_thread = spt;
+               threads_per_warp = tpw;
+               warps_per_cta = wpc;
+               order = ord;
+             })
+      in
+      let* a = layout_gen and* b = layout_gen in
+      return (a, b))
+  in
+  QCheck.make gen ~print:(fun (a, b) -> Layout.to_string a ^ "\n->\n" ^ Layout.to_string b)
+
+let prop_plans_race_clean =
+  QCheck.Test.make ~name:"every planned conversion is race- and error-free" ~count:60
+    arb_cta_pair (fun (src, dst) ->
+      let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+      Diagnostics.errors
+        (Analysis.Races.check_plan m plan @ Analysis.Bank_check.conversion m plan)
+      = [])
+
+let prop_certifier_agrees =
+  (* The certifier re-derives Lemma 9.4 and must agree with the bank
+     simulator on every shared-memory plan: an LL301 is by definition
+     an analyzer (or planner) bug. *)
+  QCheck.Test.make ~name:"bank certifier agrees with Gpusim.Banks" ~count:60 arb_cta_pair
+    (fun (src, dst) ->
+      let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+      match plan.Codegen.Conversion.mechanism with
+      | Codegen.Conversion.Shared_memory _ ->
+          not (has_code "LL301" (Analysis.Bank_check.conversion m plan))
+      | _ -> QCheck.assume_fail ())
+
+(* Ground truth for the RAW checker, recomputed naively. *)
+let raw_exists (p : Gpusim.Isa.program) =
+  let writer = Hashtbl.create 64 in
+  let found = ref false in
+  List.iter
+    (fun i ->
+      match i with
+      | Gpusim.Isa.Bar_sync -> Hashtbl.reset writer
+      | Gpusim.Isa.St_shared { slots; addr; _ } ->
+          Array.iteri
+            (fun w lanes ->
+              Array.iter
+                (fun a0 -> List.iteri (fun k _ -> Hashtbl.replace writer (a0 + k) w) slots)
+                lanes)
+            addr
+      | Gpusim.Isa.Ld_shared { slots; addr; _ } ->
+          Array.iteri
+            (fun w lanes ->
+              Array.iter
+                (fun a0 ->
+                  List.iteri
+                    (fun k _ ->
+                      match Hashtbl.find_opt writer (a0 + k) with
+                      | Some w' when w' <> w -> found := true
+                      | _ -> ())
+                    slots)
+                lanes)
+            addr
+      | _ -> ())
+    p.Gpusim.Isa.body;
+  !found
+
+let prop_raw_checker_exact =
+  (* Differential test: strip the barriers from a lowered plan and the
+     checker must report LL201 exactly when a naive replay finds a
+     cross-warp store->load edge. *)
+  QCheck.Test.make ~name:"RAW checker matches naive replay on stripped programs" ~count:40
+    arb_cta_pair (fun (src, dst) ->
+      let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+      match plan.Codegen.Conversion.mechanism with
+      | Codegen.Conversion.Shared_memory _ ->
+          let program, _ = Codegen.Lower.conversion m plan in
+          let stripped =
+            {
+              program with
+              Gpusim.Isa.body =
+                List.filter (fun i -> i <> Gpusim.Isa.Bar_sync) program.Gpusim.Isa.body;
+            }
+          in
+          Bool.equal (raw_exists stripped)
+            (has_code "LL201" (Analysis.Races.check stripped))
+      | _ -> QCheck.assume_fail ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "analysis"
+    [
+      ( "races",
+        [
+          Alcotest.test_case "clean plan" `Quick test_clean_plan;
+          Alcotest.test_case "dropped barrier" `Quick test_dropped_barrier;
+          Alcotest.test_case "waw flagged and suppressed" `Quick test_waw_flagged_and_suppressed;
+          Alcotest.test_case "same-instr lane overlap" `Quick test_same_instr_lane_overlap;
+          Alcotest.test_case "redundant barrier" `Quick test_redundant_barrier;
+        ] );
+      ("banks", [ Alcotest.test_case "perturbed swizzle" `Quick test_perturbed_swizzle ]);
+      ( "tir",
+        [
+          Alcotest.test_case "all kernels clean" `Quick test_kernels_clean;
+          Alcotest.test_case "run_and_validate ~analyze" `Quick test_run_and_validate_analyze;
+          Alcotest.test_case "validate codes" `Quick test_validate_codes;
+        ] );
+      ( "properties",
+        [ q prop_plans_race_clean; q prop_certifier_agrees; q prop_raw_checker_exact ] );
+    ]
