@@ -100,6 +100,19 @@ let bench_tests () =
            ignore
              (Tir.Engine.run machine ~mode:Tir.Engine.Legacy_mode
                 (gemm.Tir.Kernels.build ~size:512))));
+    (* Same engine run driven through the pass manager with per-pass
+       instrumentation — measures the pipeline's bookkeeping overhead
+       relative to engine-gemm-linear-warm. *)
+    Test.make ~name:"figure9/engine-gemm-pipeline-instrumented"
+      (Staged.stage (fun () ->
+           let st =
+             Tir.Pass.init machine ~mode:Tir.Engine.Linear
+               (gemm.Tir.Kernels.build ~size:512)
+           in
+           let (_ : Tir.Pass_manager.report) =
+             Tir.Pass_manager.run (Tir.Pass_manager.config Tir.Passes.default) st
+           in
+           ignore (Tir.Pass.result st)));
     (* Conversion planning end to end, cold vs warm. *)
     Test.make ~name:"conversion/plan+classify-cold"
       (Staged.stage (fun () ->

@@ -4,14 +4,18 @@
      show     - construct a layout and print its basis and matrix
      convert  - plan a conversion between two layouts
      swizzle  - compute the optimal shared-memory swizzle for a pair
-     engine   - run the layout engine on a built-in kernel
+     engine   - run the layout-engine pass pipeline on a built-in kernel
+     passes   - list the registered engine passes
+     lint     - run the static analyzers over an assignment
 
    Examples:
      layout_tool show --kind blocked --shape 16x16 --spt 2x2 --tpw 4x8 --warps 2x1
      layout_tool show --kind mma --shape 32x32 --bitwidth 16
      layout_tool convert --shape 32x32 --src blocked --dst mma
      layout_tool swizzle --shape 32x32 --byte-width 4
-     layout_tool engine --kernel gemm --machine GH200 *)
+     layout_tool engine --kernel gemm --machine GH200 --timings
+     layout_tool engine --kernel softmax --dump-after forward_propagate
+     layout_tool engine --all --timings --json pass-timings.json *)
 
 open Linear_layout
 open Cmdliner
@@ -197,30 +201,88 @@ let lower_cmd =
 
 (* {1 engine} *)
 
-let engine machine kernel_name autotune =
-  let k = Tir.Kernels.find kernel_name in
-  let size = List.hd k.Tir.Kernels.sizes in
-  (if autotune then
-     let cfg, _ =
-       Tir.Autotune.best machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build ~size
-     in
-     Printf.printf "autotuned num_warps: %d (gain %.2fx over the 4-warp default)\n"
-       cfg.Tir.Autotune.num_warps
-       (Tir.Autotune.tuning_gain machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build
-          ~size));
-  let prog = k.Tir.Kernels.build ~size in
-  Format.printf "%a@." Tir.Program.pp prog;
-  let run mode name =
-    let r = Tir.Validate.run_and_validate machine ~mode prog in
-    Printf.printf "%-7s converts=%d noop=%d local_load=%d local_store=%d time=%.0f\n" name
-      r.Tir.Engine.converts r.Tir.Engine.noop_converts r.Tir.Engine.local_loads
-      r.Tir.Engine.local_stores (Tir.Engine.time machine r);
-    List.iter (fun u -> Printf.printf "        unsupported: %s\n" u) r.Tir.Engine.unsupported;
-    Tir.Engine.time machine r
+let engine machine kernel_name all autotune passes_csv disabled dump_after timings json =
+  let pass_list =
+    match passes_csv with
+    | None -> Tir.Passes.default
+    | Some names ->
+        List.map
+          (fun n ->
+            match Tir.Passes.find n with
+            | Some p -> p
+            | None ->
+                failwith (Printf.sprintf "unknown pass %S (see `layout_tool passes')" n))
+          names
   in
-  let tl = run Tir.Engine.Linear "linear" in
-  let tg = run Tir.Engine.Legacy_mode "legacy" in
-  Printf.printf "speedup: %.2fx\n" (tg /. tl)
+  (* A customized pipeline may legitimately leave layouts unassigned;
+     only verify the assignment when running the full default list. *)
+  let custom = passes_csv <> None || disabled <> [] in
+  let dump_hook =
+    if dump_after = [] then None
+    else
+      Some
+        (fun name st ->
+          Format.printf "=== after %s ===@.%a@." name Tir.Pass_manager.pp_state st)
+  in
+  let dump_filter name = List.mem "all" dump_after || List.mem name dump_after in
+  let reports = ref [] (* newest first *) in
+  let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+  List.iter
+    (fun (k : Tir.Kernels.kernel) ->
+      let size = List.hd k.Tir.Kernels.sizes in
+      (if autotune && not all then
+         let cfg, _ =
+           Tir.Autotune.best machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build ~size
+         in
+         Printf.printf "autotuned num_warps: %d (gain %.2fx over the 4-warp default)\n"
+           cfg.Tir.Autotune.num_warps
+           (Tir.Autotune.tuning_gain machine ~mode:Tir.Engine.Linear
+              ~build:k.Tir.Kernels.build ~size));
+      (if all then Printf.printf "== %s ==\n" k.Tir.Kernels.name
+       else
+         let prog = k.Tir.Kernels.build ~size in
+         Format.printf "%a@." Tir.Program.pp prog);
+      let run mode name =
+        let prog = k.Tir.Kernels.build ~size in
+        let st = Tir.Pass.init machine ~mode prog in
+        let config =
+          Tir.Pass_manager.config ~disabled ?dump_after:dump_hook ~dump_filter pass_list
+        in
+        let report = Tir.Pass_manager.run config st in
+        let r = Tir.Pass.result st in
+        (if (not custom) && mode = Tir.Engine.Linear then
+           match Diagnostics.errors (Tir.Validate.program prog) with
+           | [] -> ()
+           | errors -> raise (Tir.Validate.Invalid errors));
+        Printf.printf "%-7s converts=%d noop=%d local_load=%d local_store=%d time=%.0f\n" name
+          r.Tir.Engine.converts r.Tir.Engine.noop_converts r.Tir.Engine.local_loads
+          r.Tir.Engine.local_stores (Tir.Engine.time machine r);
+        List.iter
+          (fun u -> Printf.printf "        unsupported: %s\n" u)
+          r.Tir.Engine.unsupported;
+        if timings then Format.printf "%a" Tir.Pass_manager.pp_report report;
+        reports := (k.Tir.Kernels.name, name, report) :: !reports;
+        Tir.Engine.time machine r
+      in
+      let tl = run Tir.Engine.Linear "linear" in
+      let tg = run Tir.Engine.Legacy_mode "legacy" in
+      Printf.printf "speedup: %.2fx\n" (tg /. tl))
+    kernels;
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc "{\"machine\":\"%s\",\"runs\":[%s]}\n"
+        (Diagnostics.json_escape machine.Gpusim.Machine.name)
+        (String.concat ","
+           (List.rev_map
+              (fun (kernel, mode, report) ->
+                Printf.sprintf "{\"kernel\":\"%s\",\"mode\":\"%s\",\"report\":%s}"
+                  (Diagnostics.json_escape kernel)
+                  mode
+                  (Tir.Pass_manager.to_json report))
+              !reports));
+      close_out oc
 
 let kernel_arg =
   Arg.(
@@ -233,9 +295,69 @@ let kernel_arg =
 let autotune_arg =
   Arg.(value & flag & info [ "autotune" ] ~doc:"Search num_warps with the cost model first.")
 
+let passes_sel_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "passes" ] ~docv:"P1,P2,..."
+        ~doc:"Run exactly this comma-separated pass list instead of the default pipeline.")
+
+let disable_pass_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable-pass" ] ~docv:"PASS"
+        ~doc:"Skip the named pass (repeatable); see $(b,layout_tool passes) for names.")
+
+let dump_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the layout assignment and running totals after the named pass \
+           (repeatable; $(b,all) dumps after every pass).")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Print the per-pass instrumentation report (wall-clock, diagnostics, plan-cache \
+           and layout-memo hit/miss deltas).")
+
+let engine_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-pass timing reports as JSON to $(docv).")
+
+let engine_all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Run every built-in kernel (overrides --kernel).")
+
 let engine_cmd =
-  Cmd.v (Cmd.info "engine" ~doc:"Run the layout engine on a built-in kernel.")
-    Term.(const engine $ machine_arg $ kernel_arg $ autotune_arg)
+  Cmd.v
+    (Cmd.info "engine"
+       ~doc:
+         "Run the layout-engine pass pipeline on a built-in kernel (or --all), with \
+          optional per-pass timings, dump-after-pass and pass selection.")
+    Term.(
+      const engine $ machine_arg $ kernel_arg $ engine_all_arg $ autotune_arg
+      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ timings_arg $ engine_json_arg)
+
+(* {1 passes} *)
+
+let passes () =
+  let default_names = List.map Tir.Passes.name Tir.Passes.default in
+  List.iter
+    (fun p ->
+      let name = Tir.Passes.name p in
+      Printf.printf "%-18s %s%s\n" name (Tir.Passes.description p)
+        (if List.mem name default_names then "" else "  [opt-in: not in the default pipeline]"))
+    Tir.Passes.all
+
+let passes_cmd =
+  Cmd.v
+    (Cmd.info "passes" ~doc:"List the registered layout-engine passes in pipeline order.")
+    Term.(const passes $ const ())
 
 (* {1 lint} *)
 
@@ -311,4 +433,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd; lint_cmd ]))
+       (Cmd.group info
+          [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd; passes_cmd; lint_cmd ]))

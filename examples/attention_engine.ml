@@ -25,8 +25,17 @@ let () =
   Printf.printf "attention tile program:\n";
   Format.printf "%a" Tir.Program.pp prog;
 
-  let lin = Tir.Engine.run machine ~mode:Tir.Engine.Linear prog in
+  (* Drive the pass pipeline by hand instead of [Engine.run] to get the
+     per-pass instrumentation alongside the result. *)
+  let st = Tir.Pass.init machine ~mode:Tir.Engine.Linear prog in
+  let timing =
+    Tir.Pass_manager.run (Tir.Pass_manager.config Tir.Passes.default) st
+  in
+  let lin = Tir.Pass.result st in
   report "linear layouts" lin;
+
+  Printf.printf "\nper-pass breakdown (what Engine.run does internally):\n";
+  Format.printf "%a@." Tir.Pass_manager.pp_report timing;
 
   (* Print the layout the engine chose for each value. *)
   Printf.printf "\nassigned layouts:\n";

@@ -5,6 +5,7 @@ type issue = Diagnostics.t = {
   severity : severity;
   loc : Diagnostics.loc;
   message : string;
+  pass : string option;
 }
 
 let err ~code fmt = Diagnostics.error ~code fmt

@@ -22,6 +22,7 @@ type issue = Diagnostics.t = {
   severity : severity;
   loc : Diagnostics.loc;
   message : string;
+  pass : string option;
 }
 
 (** Check the distributed-layout characterization (Definition 4.10):

@@ -2,10 +2,16 @@ type severity = Error | Warning
 
 type loc = No_loc | Tir_instr of int | Isa_instr of int | Plan of string
 
-type t = { code : string; severity : severity; loc : loc; message : string }
+type t = {
+  code : string;
+  severity : severity;
+  loc : loc;
+  message : string;
+  pass : string option;
+}
 
 let make severity ~code ?(loc = No_loc) fmt =
-  Format.kasprintf (fun message -> { code; severity; loc; message }) fmt
+  Format.kasprintf (fun message -> { code; severity; loc; message; pass = None }) fmt
 
 let error ~code ?loc fmt = make Error ~code ?loc fmt
 let warning ~code ?loc fmt = make Warning ~code ?loc fmt
@@ -15,6 +21,7 @@ let warnings = List.filter (fun d -> d.severity = Warning)
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
 let with_loc loc d = if d.loc = No_loc then { d with loc } else d
+let with_pass pass d = if d.pass = None then { d with pass = Some pass } else d
 
 let pp_loc ppf = function
   | No_loc -> ()
@@ -25,7 +32,10 @@ let pp_loc ppf = function
 let pp ppf d =
   Format.fprintf ppf "%s[%s]: %a%s"
     (match d.severity with Error -> "error" | Warning -> "warning")
-    d.code pp_loc d.loc d.message
+    d.code pp_loc d.loc d.message;
+  match d.pass with
+  | None -> ()
+  | Some pass -> Format.fprintf ppf " (pass %s)" pass
 
 let pp_list ppf = function
   | [] -> Format.fprintf ppf "ok"
@@ -53,9 +63,12 @@ let loc_json = function
 
 let to_json ds =
   let one d =
-    Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+    Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\",\"pass\":%s}"
       (json_escape d.code)
       (match d.severity with Error -> "error" | Warning -> "warning")
       (loc_json d.loc) (json_escape d.message)
+      (match d.pass with
+      | None -> "null"
+      | Some p -> Printf.sprintf "\"%s\"" (json_escape p))
   in
   "[" ^ String.concat "," (List.map one ds) ^ "]"

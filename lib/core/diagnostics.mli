@@ -15,7 +15,9 @@
       (Lemma 9.4 vs. the brute-force bank simulator);
     - [LL4xx] global-memory coalescing / vectorization lints;
     - [LL5xx] broadcast-redundancy lints (duplicated compute);
-    - [LL6xx] TIR layout-assignment verification. *)
+    - [LL6xx] TIR layout-assignment verification;
+    - [LL7xx] engine pass-pipeline consistency (skipped/misordered
+      passes leaving the cost model incomplete). *)
 
 type severity = Error | Warning
 
@@ -26,7 +28,15 @@ type loc =
   | Isa_instr of int  (** an index into a lowered instruction stream *)
   | Plan of string  (** a named conversion/staging plan *)
 
-type t = { code : string; severity : severity; loc : loc; message : string }
+type t = {
+  code : string;
+  severity : severity;
+  loc : loc;
+  message : string;
+  pass : string option;
+      (** the engine pass that emitted the diagnostic, when it was
+          produced under the pass manager *)
+}
 
 val error : code:string -> ?loc:loc -> ('a, Format.formatter, unit, t) format4 -> 'a
 val warning : code:string -> ?loc:loc -> ('a, Format.formatter, unit, t) format4 -> 'a
@@ -38,6 +48,11 @@ val has_errors : t list -> bool
 (** [with_loc loc d] replaces [d]'s location when [d] has none. *)
 val with_loc : loc -> t -> t
 
+(** [with_pass name d] attributes [d] to a pass when it has no
+    attribution yet (the pass manager tags every diagnostic a pass
+    appends). *)
+val with_pass : string -> t -> t
+
 val pp_loc : Format.formatter -> loc -> unit
 val pp : Format.formatter -> t -> unit
 
@@ -46,5 +61,9 @@ val pp : Format.formatter -> t -> unit
 val pp_list : Format.formatter -> t list -> unit
 
 (** JSON rendering (an array of objects with [code], [severity], [loc],
-    [message] fields) for machine consumers, e.g. the CI artifact. *)
+    [message], [pass] fields) for machine consumers, e.g. the CI
+    artifact. *)
 val to_json : t list -> string
+
+(** JSON string-content escaping, shared with other JSON emitters. *)
+val json_escape : string -> string

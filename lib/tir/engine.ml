@@ -1,701 +1,32 @@
-open Linear_layout
+(* The engine is a pass pipeline (see Pass, Passes, Pass_manager); this
+   module is the stable entry point, re-exporting the pipeline's types
+   so call sites predating the split compile unchanged. *)
 
-type mode = Linear | Legacy_mode
+type mode = Pass.mode = Linear | Legacy_mode
 
-type conversion_info = {
+type conversion_info = Pass.conversion_info = {
   at : Program.id;
   mechanism : string;
   conv_cost : Gpusim.Cost.t;
   plan : Codegen.Conversion.plan option;
 }
 
-type result = {
+type result = Pass.result = {
   cost : Gpusim.Cost.t;
   conversions : conversion_info list;
   converts : int;
   noop_converts : int;
   local_loads : int;
   local_stores : int;
-  remats : int;  (** conversions avoided by rematerializing cheap chains *)
+  remats : int;
   unsupported : string list;
 }
 
 let time machine r = Gpusim.Cost.estimate machine r.cost
 
-(* {1 Layout construction helpers} *)
-
-let bits_of dtype = Tensor_lib.Dtype.bits dtype
-let byte_width_of dtype = max 1 (bits_of dtype / 8)
-
-let pow2_floor n =
-  let rec go k = if 1 lsl (k + 1) > n then 1 lsl k else go (k + 1) in
-  if n < 1 then 1 else go 0
-
-let default_blocked machine ~num_warps ~shape ~dtype =
-  let numel = Array.fold_left ( * ) 1 shape in
-  let threads = machine.Gpusim.Machine.warp_size * num_warps in
-  let ept = pow2_floor (max 1 (min (128 / bits_of dtype) (numel / threads))) in
-  Blocked.default ~elems_per_thread:ept ~warp_size:machine.Gpusim.Machine.warp_size ~num_warps
-    shape
-
-let mma_bitwidth dtype = min 32 (max 4 (bits_of dtype))
-
-(* The mma path requires each tensor dimension to hold at least one
-   operand/output tile; tile sizes depend on the element bitwidths
-   (an f8 lhs tile is 16 x 32, an f16 one 16 x 16, ...). *)
-let dot_fits ~m ~n ~k ~a_bits ~b_bits =
-  let size t d = Layout.out_size t (Dims.dim d) in
-  let lhs = Mma.operand_tile ~idx:0 ~bitwidth:a_bits in
-  let rhs = Mma.operand_tile ~idx:1 ~bitwidth:b_bits in
-  let out = Mma.output_tile ~bitwidth:32 in
-  m >= max (size lhs 0) (size out 0)
-  && n >= max (size rhs 1) (size out 1)
-  && k >= max (size lhs 1) (size rhs 0)
-
-let dot_layouts machine ~num_warps ~m ~n ~k ~a_dtype ~b_dtype =
-  let warps = [| num_warps; 1 |] in
-  let a_bits = mma_bitwidth a_dtype and b_bits = mma_bitwidth b_dtype in
-  if not (dot_fits ~m ~n ~k ~a_bits ~b_bits) then
-    (* Small shapes: linear layouts still provide a valid distributed
-       layout via blocked encodings (Section 6.1's point is that legacy
-       cannot). *)
-    let bl shape dt = default_blocked machine ~num_warps ~shape ~dtype:dt in
-    (bl [| m; n |] a_dtype, bl [| m; k |] a_dtype, bl [| k; n |] b_dtype)
-  else
-    let out_tile =
-      match machine.Gpusim.Machine.vendor with
-      | Gpusim.Machine.Amd -> Mma.mfma_output_tile ~m:16
-      | Gpusim.Machine.Intel -> Mma.xmx_output_tile ()
-      | Gpusim.Machine.Nvidia -> Mma.output_tile ~bitwidth:32
-    in
-    let out =
-      match machine.Gpusim.Machine.vendor with
-      | Gpusim.Machine.Amd -> Mma.mfma_output ~m:16 ~warps ~shape:[| m; n |] ()
-      | Gpusim.Machine.Intel -> Mma.xmx_output ~warps ~shape:[| m; n |] ()
-      | Gpusim.Machine.Nvidia -> Mma.output ~bitwidth:32 ~warps ~shape:[| m; n |] ()
-    in
-    let a = Mma.operand ~out_tile ~idx:0 ~bitwidth:a_bits ~warps ~shape:[| m; k |] () in
-    let b = Mma.operand ~out_tile ~idx:1 ~bitwidth:b_bits ~warps ~shape:[| k; n |] () in
-    (out, a, b)
-
-(* Legacy vectorization: contiguity is only recognized within the
-   fastest dimension (Section 5.1). *)
-let legacy_vec layout =
-  let consec = Layout.Memo.num_consecutive layout ~in_dim:Dims.register in
-  match Layout.out_dims layout with
-  | (_, cols_bits) :: _ :: _ when cols_bits > 0 -> min consec (1 lsl cols_bits)
-  | _ -> consec
-
-let linear_vec machine layout ~byte_width =
-  let cap = machine.Gpusim.Machine.max_vec_bits / (8 * byte_width) in
-  min (Layout.Memo.num_consecutive layout ~in_dim:Dims.register) (max 1 cap)
-
-(* {1 The engine} *)
-
-type state = {
-  machine : Gpusim.Machine.t;
-  mode : mode;
-  num_warps : int;
-  total : Gpusim.Cost.t;
-  mutable convs : conversion_info list;
-  mutable converts : int;
-  mutable noops : int;
-  mutable local_loads : int;
-  mutable local_stores : int;
-  mutable unsupported : string list;
-  mutable saw_reduce : bool;
-  mutable remats : int;
-  (* Per-instruction cost of recomputing the value from loads through
-     elementwise ops, when such a cheap chain exists. *)
-  chain_cost : (Program.id, Gpusim.Cost.t) Hashtbl.t;
-}
-
-let layout_of prog i =
-  match (Program.instr prog i).Program.layout with
-  | Some l -> l
-  | None -> failwith "Engine: source instruction has no layout (use-before-def?)"
-
-(* Instruction and transaction counts for a warp-level global access
-   under the given vectorization, summed over all warps. *)
-let global_access_counts layout ~byte_width ~vec =
-  (* Hoist the F2 matrix of the flattened layout: [apply] per address is
-     then a handful of word ops, and both the flatten and the matrix are
-     memoized across calls on the same layout. *)
-  let m = Layout.Memo.to_matrix (Layout.Memo.flatten_outs layout) in
-  let reg_bits = Layout.in_bits layout Dims.register in
-  let lane_bits = Layout.in_bits layout Dims.lane in
-  let warps = 1 lsl Layout.in_bits layout Dims.warp in
-  let regs = 1 lsl reg_bits in
-  let insts = max 1 (regs / vec) in
-  let tx = ref 0 in
-  for g = 0 to insts - 1 do
-    let accesses =
-      List.init (1 lsl lane_bits) (fun lane ->
-          let hw = (g * vec) lor (lane lsl reg_bits) in
-          (F2.Bitmatrix.apply m hw * byte_width, vec * byte_width))
-    in
-    tx := !tx + Gpusim.Coalesce.transactions accesses
-  done;
-  (insts * warps, !tx * warps)
-
-let global_cost st layout ~byte_width ~vec =
-  let insts, tx = global_access_counts layout ~byte_width ~vec in
-  st.total.Gpusim.Cost.gmem_insts <- st.total.Gpusim.Cost.gmem_insts + insts;
-  st.total.Gpusim.Cost.gmem_transactions <- st.total.Gpusim.Cost.gmem_transactions + tx
-
-(* Record a conversion from [src_instr]'s layout to [dst]; returns unit
-   but accumulates cost and static-op statistics. [ldmatrix_ok] marks
-   conversions feeding tensor-core operands, where NVIDIA machines can
-   use ldmatrix on the load side. *)
-let convert_to ?(smem_resident = false) st prog ~at ~src ~dst ~dst_kind ~ldmatrix_ok =
-  let s = Program.instr prog src in
-  let src_layout = Option.get s.Program.layout in
-  let byte_width = byte_width_of s.Program.dtype in
-  match st.mode with
-  | Linear ->
-      let plan = Codegen.Plan_cache.conversion st.machine ~src:src_layout ~dst ~byte_width in
-      let c = Codegen.Conversion.cost st.machine plan in
-      (match plan.Codegen.Conversion.mechanism with
-      | Codegen.Conversion.No_op -> st.noops <- st.noops + 1
-      | Codegen.Conversion.Register_permute | Codegen.Conversion.Warp_shuffle _
-      | Codegen.Conversion.Warp_shuffle_compressed _ ->
-          st.converts <- st.converts + 1
-      | Codegen.Conversion.Global_roundtrip -> st.converts <- st.converts + 1
-      | Codegen.Conversion.Shared_memory _ ->
-          st.converts <- st.converts + 1;
-          st.local_stores <- st.local_stores + 1;
-          st.local_loads <- st.local_loads + 1);
-      (* Tensor-core operands prefer the dedicated mma swizzle, which
-         admits ldmatrix on NVIDIA hardware (Section 5.3). *)
-      let c =
-        match plan.Codegen.Conversion.mechanism with
-        | Codegen.Conversion.Shared_memory sw when smem_resident ->
-            (* wgmma reads this operand directly from shared memory: only
-               the store side of the staging is paid (Section 6.2's
-               template_attention observation). *)
-            let warps = 1 lsl Layout.in_bits src_layout Dims.warp in
-            let insts =
-              max 1
-                (1 lsl Layout.in_bits src_layout Dims.register
-                / (1 lsl sw.Codegen.Swizzle_opt.vec_bits))
-              * warps
-            in
-            let c' = Gpusim.Cost.zero () in
-            c'.Gpusim.Cost.smem_insts <- insts;
-            c'.Gpusim.Cost.smem_wavefronts <- insts * sw.Codegen.Swizzle_opt.store_wavefronts;
-            c'.Gpusim.Cost.barriers <- 1;
-            c'.Gpusim.Cost.alu <- 2 * insts;
-            c'
-        | Codegen.Conversion.Shared_memory _ when ldmatrix_ok -> (
-            match
-              Codegen.Plan_cache.staging st.machine ~src:src_layout ~dst ~byte_width
-            with
-            | Some staging
-              when Gpusim.Cost.estimate st.machine
-                     staging.Codegen.Operand_staging.staging_cost
-                   < Gpusim.Cost.estimate st.machine c ->
-                staging.Codegen.Operand_staging.staging_cost
-            | _ -> c)
-        | _ -> c
-      in
-      Gpusim.Cost.add st.total c;
-      if plan.Codegen.Conversion.mechanism <> Codegen.Conversion.No_op then
-        st.convs <-
-          {
-            at;
-            mechanism = Codegen.Conversion.mechanism_name plan.Codegen.Conversion.mechanism;
-            conv_cost = c;
-            plan = Some plan;
-          }
-          :: st.convs
-  | Legacy_mode ->
-      if s.Program.kind = dst_kind && Layout.equal src_layout dst then
-        st.noops <- st.noops + 1
-      else begin
-        let c =
-          if smem_resident then
-            Legacy.Convert.store_only_cost st.machine ~src:src_layout ~dst ~byte_width
-          else Legacy.Convert.cost st.machine ~src:src_layout ~dst ~byte_width
-        in
-        st.converts <- st.converts + 1;
-        st.local_stores <- st.local_stores + 1;
-        st.local_loads <- st.local_loads + 1;
-        Gpusim.Cost.add st.total c;
-        st.convs <-
-          { at; mechanism = "shared memory (padded)"; conv_cost = c; plan = None } :: st.convs
-      end
-
-let sliced_kind = function
-  | Legacy.Support.Blocked -> Legacy.Support.Sliced_blocked
-  | Legacy.Support.Mma -> Legacy.Support.Sliced_mma
-  | Legacy.Support.Mma_input -> Legacy.Support.Sliced_mma_input
-  | k -> k
-
-let rename_dims_above l ~axis ~delta =
-  (* Renames dimK -> dimK+delta for K >= axis (delta = +1/-1). *)
-  let spec =
-    Layout.out_dims l
-    |> List.filter_map (fun (d, _) ->
-           match Dims.dim_index d with
-           | Some k when k >= axis -> Some (d, Dims.dim (k + delta))
-           | _ -> None)
+let run machine ~mode ?num_warps prog =
+  let st = Pass.init machine ~mode ?num_warps prog in
+  let (_ : Pass_manager.report) =
+    Pass_manager.run (Pass_manager.config Passes.default) st
   in
-  if spec = [] then l else Layout.exchange_out_names l spec
-
-(* Broadcast transfer: grow size-1 output dimensions to [shape].  The
-   new elements are assigned, per dimension (fastest first), to the
-   input's *free* lane and warp bits — the bits a reduction freed — with
-   fresh registers covering the remainder at the low end, mirroring the
-   blocked construction.  When the input is the slice of a blocked
-   layout this reconstructs the parent exactly, so conversions against
-   the original tensor fold to no-ops (the welford case, Section 6.2). *)
-let broadcast_layout l ~shape =
-  let rank = Array.length shape in
-  let masks = Layout.Memo.free_variable_masks l in
-  let free_bits dim =
-    let mask = try List.assoc dim masks with Not_found -> 0 in
-    ref (F2.Bitvec.support mask)
-  in
-  let free_lane = free_bits Dims.lane and free_warp = free_bits Dims.warp in
-  let image_of in_dim k = Layout.basis l in_dim k in
-  let lane_images =
-    Array.init (Layout.in_bits l Dims.lane) (image_of Dims.lane)
-  in
-  let warp_images =
-    Array.init (Layout.in_bits l Dims.warp) (image_of Dims.warp)
-  in
-  let reg_existing =
-    List.init (Layout.in_bits l Dims.register) (image_of Dims.register)
-  in
-  let reg_prepends = ref [] (* fastest dim first *) in
-  for di = 0 to rank - 1 do
-    let d = rank - 1 - di (* fastest (last) dimension first *) in
-    let have = Layout.out_bits l (Dims.dim d) in
-    let want = Util.log2 shape.(d) in
-    if want > have then begin
-      let need = want - have in
-      let lanes_take = min (List.length !free_lane) need in
-      let warps_take = min (List.length !free_warp) (need - lanes_take) in
-      let reg_low = need - lanes_take - warps_take in
-      let coord j = [ (Dims.dim d, 1 lsl (have + j)) ] in
-      reg_prepends := !reg_prepends @ [ List.init reg_low coord ];
-      List.iteri
-        (fun idx bit ->
-          if idx < lanes_take then lane_images.(bit) <- coord (reg_low + idx))
-        !free_lane;
-      List.iteri
-        (fun idx bit ->
-          if idx < warps_take then warp_images.(bit) <- coord (reg_low + lanes_take + idx))
-        !free_warp;
-      let drop n lst = List.filteri (fun i _ -> i >= n) lst in
-      free_lane := drop lanes_take !free_lane;
-      free_warp := drop warps_take !free_warp
-    end
-  done;
-  let reg_images = List.concat !reg_prepends @ reg_existing in
-  let outs = Array.to_list (Array.mapi (fun d s -> (Dims.dim d, Util.log2 s)) shape) in
-  let ins =
-    [
-      (Dims.register, List.length reg_images);
-      (Dims.lane, Array.length lane_images);
-      (Dims.warp, Array.length warp_images);
-    ]
-    |> List.filter (fun (_, b) -> b > 0)
-  in
-  let bases =
-    [
-      (Dims.register, reg_images);
-      (Dims.lane, Array.to_list lane_images);
-      (Dims.warp, Array.to_list warp_images);
-    ]
-    |> List.filter (fun (d, _) -> List.mem_assoc d ins)
-  in
-  Layout.make ~ins ~outs ~bases
-
-let run machine ~mode ?(num_warps = 4) prog =
-  let st =
-    {
-      machine;
-      mode;
-      num_warps;
-      total = Gpusim.Cost.zero ();
-      convs = [];
-      converts = 0;
-      noops = 0;
-      local_loads = 0;
-      local_stores = 0;
-      unsupported = [];
-      saw_reduce = false;
-      remats = 0;
-      chain_cost = Hashtbl.create 32;
-    }
-  in
-  let set i layout kind =
-    let ins = Program.instr prog i in
-    ins.Program.layout <- Some layout;
-    ins.Program.kind <- kind
-  in
-  let kind_of i = (Program.instr prog i).Program.kind in
-  (* In legacy mode, shape operations on non-blocked layouts cannot be
-     propagated (e.g. the transpose of an MMA layout is not a legacy
-     layout): materialize a conversion to a blocked layout first. *)
-  let legacy_normalize i =
-    let ins = Program.instr prog i in
-    if st.mode = Legacy_mode && ins.Program.kind <> Legacy.Support.Blocked then begin
-      let bl =
-        default_blocked machine ~num_warps ~shape:ins.Program.shape ~dtype:ins.Program.dtype
-      in
-      convert_to st prog ~at:i ~src:i ~dst:bl ~dst_kind:Legacy.Support.Blocked
-        ~ldmatrix_ok:false;
-      ins.Program.layout <- Some bl;
-      ins.Program.kind <- Legacy.Support.Blocked
-    end
-  in
-  Array.iteri
-    (fun i ins ->
-      let shape = ins.Program.shape and dtype = ins.Program.dtype in
-      let byte_width = byte_width_of dtype in
-      match ins.Program.node with
-      | Program.Load _ ->
-          let l = default_blocked machine ~num_warps ~shape ~dtype in
-          set i l Legacy.Support.Blocked;
-          let vec =
-            match st.mode with
-            | Linear -> linear_vec machine l ~byte_width
-            | Legacy_mode -> legacy_vec l
-          in
-          global_cost st l ~byte_width ~vec;
-          (let c = Gpusim.Cost.zero () in
-           let insts, tx = global_access_counts l ~byte_width ~vec in
-           c.Gpusim.Cost.gmem_insts <- insts;
-           c.Gpusim.Cost.gmem_transactions <- tx;
-           Hashtbl.replace st.chain_cost i c)
-      | Program.Iota _ | Program.Full _ ->
-          (* Register-computable values: the canonical rematerialization
-             targets (computed from the lane/register id, no memory). *)
-          let l = default_blocked machine ~num_warps ~shape ~dtype in
-          set i l Legacy.Support.Blocked;
-          let regs = 1 lsl Layout.in_bits l Dims.register in
-          st.total.Gpusim.Cost.alu <- st.total.Gpusim.Cost.alu + regs;
-          let c = Gpusim.Cost.zero () in
-          c.Gpusim.Cost.alu <- regs;
-          Hashtbl.replace st.chain_cost i c
-      | Program.Store { src } ->
-          let anchor = default_blocked machine ~num_warps ~shape ~dtype in
-          let src_layout = layout_of prog src in
-          let vec_of l =
-            match st.mode with
-            | Linear -> linear_vec machine l ~byte_width
-            | Legacy_mode -> legacy_vec l
-          in
-          (* Backward rematerialization: keep the producer's layout when
-             storing through it is no more expensive than converting to
-             the coalesced anchor first. *)
-          let store_estimate l =
-            let insts, tx = global_access_counts l ~byte_width ~vec:(vec_of l) in
-            (float_of_int insts *. machine.Gpusim.Machine.cost_smem_inst)
-            +. (float_of_int tx *. machine.Gpusim.Machine.cost_gmem_transaction)
-          in
-          let convert_estimate () =
-            match st.mode with
-            | Linear ->
-                let plan =
-                  Codegen.Plan_cache.conversion machine ~src:src_layout ~dst:anchor ~byte_width
-                in
-                Gpusim.Cost.estimate machine (Codegen.Conversion.cost machine plan)
-            | Legacy_mode ->
-                if kind_of src = Legacy.Support.Blocked && Layout.equal src_layout anchor then 0.
-                else
-                  Gpusim.Cost.estimate machine
-                    (Legacy.Convert.cost machine ~src:src_layout ~dst:anchor ~byte_width)
-          in
-          let direct_ok =
-            (match st.mode with
-            | Linear -> true
-            | Legacy_mode -> kind_of src = Legacy.Support.Blocked)
-            && store_estimate src_layout <= convert_estimate () +. store_estimate anchor
-          in
-          let l = if direct_ok then src_layout else anchor in
-          if not direct_ok then
-            convert_to st prog ~at:i ~src ~dst:anchor ~dst_kind:Legacy.Support.Blocked
-              ~ldmatrix_ok:false;
-          set i l Legacy.Support.Blocked;
-          global_cost st l ~byte_width ~vec:(vec_of l)
-      | Program.Elementwise { srcs; _ } ->
-          let first = List.hd srcs in
-          let l = layout_of prog first in
-          List.iter
-            (fun s ->
-              let sl = layout_of prog s in
-              if not (Layout.equal sl l) then begin
-                (* Backward rematerialization (Section 4.4): if the
-                   mismatched input is a cheap chain of loads and
-                   elementwise ops, recomputing it directly in the
-                   needed layout can beat a conversion. *)
-                let convert_estimate () =
-                  match st.mode with
-                  | Linear ->
-                      Gpusim.Cost.estimate machine
-                        (Codegen.Conversion.cost machine
-                           (Codegen.Plan_cache.conversion machine ~src:sl ~dst:l ~byte_width))
-                  | Legacy_mode ->
-                      Gpusim.Cost.estimate machine
-                        (Legacy.Convert.cost machine ~src:sl ~dst:l ~byte_width)
-                in
-                match Hashtbl.find_opt st.chain_cost s with
-                | Some chain when Gpusim.Cost.estimate machine chain < convert_estimate () ->
-                    st.remats <- st.remats + 1;
-                    Gpusim.Cost.add st.total chain
-                | _ ->
-                    convert_to st prog ~at:i ~src:s ~dst:l ~dst_kind:(kind_of first)
-                      ~ldmatrix_ok:false
-              end)
-            (List.tl srcs);
-          set i l (kind_of first);
-          let own_alu =
-            max 1
-              (Array.fold_left ( * ) 1 shape / (machine.Gpusim.Machine.warp_size * num_warps))
-          in
-          st.total.Gpusim.Cost.alu <- st.total.Gpusim.Cost.alu + own_alu;
-          (* Propagate chain cost: cheap iff every source is cheap. *)
-          (match
-             List.fold_left
-               (fun acc s ->
-                 match (acc, Hashtbl.find_opt st.chain_cost s) with
-                 | Some acc, Some c ->
-                     let sum = Gpusim.Cost.zero () in
-                     Gpusim.Cost.add sum acc;
-                     Gpusim.Cost.add sum c;
-                     Some sum
-                 | _ -> None)
-               (Some (Gpusim.Cost.zero ()))
-               srcs
-           with
-          | Some chain ->
-              chain.Gpusim.Cost.alu <- chain.Gpusim.Cost.alu + own_alu;
-              Hashtbl.replace st.chain_cost i chain
-          | None -> ())
-      | Program.Dot { a; b } ->
-          let sa = (Program.instr prog a).Program.shape in
-          let sb = (Program.instr prog b).Program.shape in
-          let m = sa.(0) and k = sa.(1) and n = sb.(1) in
-          let a_dtype = (Program.instr prog a).Program.dtype in
-          let b_dtype = (Program.instr prog b).Program.dtype in
-          if
-            st.mode = Legacy_mode
-            && not (Legacy.Support.supports_dot ~a:a_dtype ~b:b_dtype ~m ~n ~k)
-          then
-            st.unsupported <-
-              Printf.sprintf "dot %s x %s on %dx%dx%d has no legacy layout"
-                (Tensor_lib.Dtype.name a_dtype) (Tensor_lib.Dtype.name b_dtype) m n k
-              :: st.unsupported;
-          let out_l, a_l, b_l = dot_layouts machine ~num_warps ~m ~n ~k ~a_dtype ~b_dtype in
-          let opk = Legacy.Support.Mma_input in
-          if not (Layout.equal (layout_of prog a) a_l) then
-            convert_to st prog ~at:i ~src:a ~dst:a_l ~dst_kind:opk ~ldmatrix_ok:true;
-          let b_smem_resident =
-            st.machine.Gpusim.Machine.has_wgmma
-            && dot_fits ~m ~n ~k ~a_bits:(mma_bitwidth a_dtype) ~b_bits:(mma_bitwidth b_dtype)
-          in
-          if not (Layout.equal (layout_of prog b) b_l) then
-            convert_to ~smem_resident:b_smem_resident st prog ~at:i ~src:b ~dst:b_l
-              ~dst_kind:opk ~ldmatrix_ok:true;
-          (Program.instr prog a).Program.layout <- Some a_l;
-          (Program.instr prog a).Program.kind <- opk;
-          (Program.instr prog b).Program.layout <- Some b_l;
-          (Program.instr prog b).Program.kind <- opk;
-          set i out_l
-            (if
-               dot_fits ~m ~n ~k ~a_bits:(mma_bitwidth a_dtype) ~b_bits:(mma_bitwidth b_dtype)
-             then Legacy.Support.Mma
-             else Legacy.Support.Blocked);
-          st.total.Gpusim.Cost.mma <-
-            st.total.Gpusim.Cost.mma + max 1 (m * n * k / (16 * 8 * 16) / num_warps)
-      | Program.Reduce { src; axis } ->
-          st.saw_reduce <- true;
-          legacy_normalize src;
-          let parent = layout_of prog src in
-          if
-            st.mode = Legacy_mode
-            && not (Legacy.Support.supports_reduction (kind_of src))
-          then
-            st.unsupported <-
-              Printf.sprintf "reduction over %s layout unsupported"
-                (Legacy.Support.kind_name (kind_of src))
-              :: st.unsupported;
-          let res = rename_dims_above (Sliced.reduction_result parent ~dim:axis) ~axis ~delta:(-1) in
-          set i res (sliced_kind (kind_of src));
-          (* In-thread accumulation. *)
-          let regs_src = 1 lsl Layout.in_bits parent Dims.register in
-          let warps = 1 lsl Layout.in_bits parent Dims.warp in
-          st.total.Gpusim.Cost.alu <- st.total.Gpusim.Cost.alu + regs_src;
-          let axis_comp in_dim =
-            List.init (Layout.in_bits parent in_dim) Fun.id
-            |> List.filter (fun kbit ->
-                   List.assoc_opt (Dims.dim axis) (Layout.basis parent in_dim kbit)
-                   |> Option.value ~default:0 <> 0)
-            |> List.length
-          in
-          let lane_rounds = axis_comp Dims.lane and warp_rounds = axis_comp Dims.warp in
-          let regs_res = 1 lsl Layout.in_bits res Dims.register in
-          (match st.mode with
-          | Linear ->
-              st.total.Gpusim.Cost.shuffles <-
-                st.total.Gpusim.Cost.shuffles + (lane_rounds * regs_res * warps);
-              if warp_rounds > 0 then begin
-                st.local_stores <- st.local_stores + 1;
-                st.local_loads <- st.local_loads + 1;
-                (* Deduplicated: only distinct elements cross warps. *)
-                st.total.Gpusim.Cost.smem_insts <-
-                  st.total.Gpusim.Cost.smem_insts + (2 * regs_res * warps);
-                st.total.Gpusim.Cost.smem_wavefronts <-
-                  st.total.Gpusim.Cost.smem_wavefronts + (2 * regs_res * warps);
-                st.total.Gpusim.Cost.barriers <- st.total.Gpusim.Cost.barriers + 1
-              end
-          | Legacy_mode ->
-              (* Always through shared memory, without broadcast
-                 deduplication: every register element is stored. *)
-              st.local_stores <- st.local_stores + 1;
-              st.local_loads <- st.local_loads + 1;
-              st.total.Gpusim.Cost.smem_insts <-
-                st.total.Gpusim.Cost.smem_insts + ((regs_src + regs_res) * warps);
-              st.total.Gpusim.Cost.smem_wavefronts <-
-                st.total.Gpusim.Cost.smem_wavefronts + ((regs_src + regs_res) * warps);
-              st.total.Gpusim.Cost.barriers <- st.total.Gpusim.Cost.barriers + 1)
-      | Program.Expand_dims { src; axis } ->
-          legacy_normalize src;
-          let l = rename_dims_above (layout_of prog src) ~axis ~delta:1 in
-          let l =
-            Layout.mul l (Layout.zeros1d 0 ~in_dim:Dims.register ~out_dim:(Dims.dim axis))
-          in
-          set i l (kind_of src)
-      | Program.Broadcast { src } ->
-          legacy_normalize src;
-          let l = layout_of prog src in
-          set i (broadcast_layout l ~shape) (kind_of src)
-      | Program.Trans { src; perm } ->
-          legacy_normalize src;
-          let l = layout_of prog src in
-          let spec =
-            Array.to_list perm
-            |> List.mapi (fun out_d in_d -> (Dims.dim in_d, Dims.dim out_d))
-            |> List.filter (fun (a, b) -> a <> b)
-          in
-          set i (if spec = [] then l else Layout.exchange_out_names l spec) (kind_of src)
-      | Program.Reshape { src } ->
-          legacy_normalize src;
-          let l = layout_of prog src in
-          let outs = Array.to_list (Array.mapi (fun d s -> (Dims.dim d, Util.log2 s)) shape) in
-          set i (Layout.reshape_outs (Layout.flatten_outs l) outs) (kind_of src)
-      | Program.Gather { src; index; axis } ->
-          let l = layout_of prog src in
-          let il = layout_of prog index in
-          if not (Layout.equal il l) then
-            convert_to st prog ~at:i ~src:index ~dst:l ~dst_kind:(kind_of src)
-              ~ldmatrix_ok:false;
-          set i l (kind_of src);
-          let plan =
-            match st.mode with
-            | Linear -> Codegen.Gather.plan l ~axis
-            | Legacy_mode -> Codegen.Gather.Shared_fallback
-          in
-          (match plan with
-          | Codegen.Gather.Shared_fallback ->
-              st.local_stores <- st.local_stores + 1;
-              st.local_loads <- st.local_loads + 1
-          | Codegen.Gather.Warp_shuffle _ -> ());
-          Gpusim.Cost.add st.total (Codegen.Gather.cost machine l ~axis plan)
-      | Program.Join { a; b } ->
-          legacy_normalize a;
-          let la = layout_of prog a in
-          let lb = layout_of prog b in
-          if not (Layout.equal lb la) then
-            convert_to st prog ~at:i ~src:b ~dst:la ~dst_kind:(kind_of a) ~ldmatrix_ok:false;
-          (* The new trailing dimension of size 2 is selected by a fresh
-             lowest register bit, so the joined pair sits in consecutive
-             registers. *)
-          let new_dim = Array.length shape - 1 in
-          let joined =
-            Layout.make
-              ~ins:
-                (List.map
-                   (fun (d, bits) ->
-                     (d, if d = Dims.register then bits + 1 else bits))
-                   (if Layout.has_in_dim la Dims.register then Layout.in_dims la
-                    else (Dims.register, 0) :: Layout.in_dims la))
-              ~outs:((Dims.dim new_dim, 1) :: Layout.out_dims la)
-              ~bases:
-                (List.map
-                   (fun (d, bits) ->
-                     let images = List.init bits (Layout.basis la d) in
-                     ( d,
-                       if d = Dims.register then [ (Dims.dim new_dim, 1) ] :: images
-                       else images ))
-                   (if Layout.has_in_dim la Dims.register then Layout.in_dims la
-                    else (Dims.register, 0) :: Layout.in_dims la))
-          in
-          set i joined (kind_of a)
-      | Program.Split { src; half = _ } ->
-          legacy_normalize src;
-          let l = layout_of prog src in
-          let last = Array.length shape in
-          let reduced =
-            Sliced.compress (Layout.remove_out_dim l (Dims.dim last)) ~in_dim:Dims.register
-          in
-          set i reduced (kind_of src)
-      | Program.Scan { src; axis; reverse } ->
-          legacy_normalize src;
-          let l = layout_of prog src in
-          (* Scans are layout-preserving: an in-register sequential part,
-             a Hillis-Steele warp scan over the lane bits on the axis,
-             then partial sums through shared memory across warps.
-             Reverse scans relabel indices with the affine flip
-             (Section 8) at zero cost in the linear system; legacy
-             Triton miscompiled them (the associative_scan reverse=True
-             bug cited in Section 5.1). *)
-          set i l (kind_of src);
-          if st.mode = Legacy_mode && reverse then
-            st.unsupported <-
-              Printf.sprintf "reverse scan over %s layout miscompiles in legacy Triton"
-                (Legacy.Support.kind_name (kind_of src))
-              :: st.unsupported;
-          if st.mode = Legacy_mode && st.saw_reduce then
-            st.unsupported <-
-              "mixing tl.sum and tl.cumsum in one kernel miscompiles in legacy Triton"
-              :: st.unsupported;
-          let axis_comp in_dim =
-            List.init (Layout.in_bits l in_dim) Fun.id
-            |> List.filter (fun kbit ->
-                   List.assoc_opt (Dims.dim axis) (Layout.basis l in_dim kbit)
-                   |> Option.value ~default:0 <> 0)
-            |> List.length
-          in
-          let regs = 1 lsl Layout.in_bits l Dims.register in
-          let warps = 1 lsl Layout.in_bits l Dims.warp in
-          let lane_rounds = axis_comp Dims.lane and warp_rounds = axis_comp Dims.warp in
-          st.total.Gpusim.Cost.alu <- st.total.Gpusim.Cost.alu + (2 * regs);
-          st.total.Gpusim.Cost.shuffles <-
-            st.total.Gpusim.Cost.shuffles + (lane_rounds * regs * warps);
-          if warp_rounds > 0 then begin
-            st.local_stores <- st.local_stores + 1;
-            st.local_loads <- st.local_loads + 1;
-            st.total.Gpusim.Cost.smem_insts <- st.total.Gpusim.Cost.smem_insts + (2 * warps);
-            st.total.Gpusim.Cost.smem_wavefronts <-
-              st.total.Gpusim.Cost.smem_wavefronts + (2 * warps);
-            st.total.Gpusim.Cost.barriers <- st.total.Gpusim.Cost.barriers + 1
-          end
-      | Program.Convert { src } ->
-          (* Explicit conversions carry no target here; keep the source
-             layout (the engine inserts its own accounting elsewhere). *)
-          set i (layout_of prog src) (kind_of src))
-    (Program.instrs prog);
-  {
-    cost = st.total;
-    conversions = List.rev st.convs;
-    converts = st.converts;
-    noop_converts = st.noops;
-    local_loads = st.local_loads;
-    local_stores = st.local_stores;
-    remats = st.remats;
-    unsupported = List.rev st.unsupported;
-  }
+  Pass.result st

@@ -9,11 +9,18 @@
     - [Legacy]: the same anchors, but conversions always go through
       padded shared memory, layouts of different kinds are never
       recognized as equal, reductions skip broadcast deduplication, and
-      several layout/dtype combinations are unsupported. *)
+      several layout/dtype combinations are unsupported.
 
-type mode = Linear | Legacy_mode
+    The engine is structured as a pass pipeline: {!run} is a thin
+    wrapper that executes {!Passes.default} through the
+    {!Pass_manager}.  Drive the pipeline directly (custom pass lists,
+    per-pass instrumentation, dump-after-pass) via {!Pass.init} +
+    {!Pass_manager.run}; the types below are re-exports of the
+    pipeline's {!Pass} types, so both APIs interoperate. *)
 
-type conversion_info = {
+type mode = Pass.mode = Linear | Legacy_mode
+
+type conversion_info = Pass.conversion_info = {
   at : Program.id;
   mechanism : string;
   conv_cost : Gpusim.Cost.t;
@@ -22,7 +29,7 @@ type conversion_info = {
           analysis; [None] for the legacy baseline's padded round trips *)
 }
 
-type result = {
+type result = Pass.result = {
   cost : Gpusim.Cost.t;  (** whole-program data-movement cost *)
   conversions : conversion_info list;  (** materialized conversions *)
   converts : int;  (** conversions that were not no-ops *)
@@ -39,6 +46,7 @@ type result = {
 val time : Gpusim.Machine.t -> result -> float
 
 (** [run machine ~mode program] assigns layouts (mutating the program's
-    [layout] fields) and returns the accumulated statistics.
+    [layout] fields; any previous assignment is reset first, so reruns
+    are idempotent) and returns the accumulated statistics.
     [num_warps] defaults to 4. *)
 val run : Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> Program.t -> result

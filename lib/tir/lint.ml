@@ -65,16 +65,16 @@ let instruction_passes machine prog =
     (Program.instrs prog);
   List.rev !diags
 
-let conversion_passes machine (result : Engine.result) =
+let conversion_passes machine (result : Pass.result) =
   List.concat_map
-    (fun (c : Engine.conversion_info) ->
-      match c.Engine.plan with
+    (fun (c : Pass.conversion_info) ->
+      match c.Pass.plan with
       | None -> []
       | Some plan ->
           Analysis.Bank_check.conversion machine plan
           @ Analysis.Races.check_plan machine plan
-          |> List.map (Diagnostics.with_loc (Diagnostics.Tir_instr c.Engine.at)))
-    result.Engine.conversions
+          |> List.map (Diagnostics.with_loc (Diagnostics.Tir_instr c.Pass.at)))
+    result.Pass.conversions
 
 let passes machine prog ~result =
   instruction_passes machine prog @ conversion_passes machine result

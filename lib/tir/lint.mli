@@ -8,7 +8,8 @@
       (whose deduplicated exchange / replicated operands are the point
       of the redundancy);
 
-    Per materialized conversion (from {!Engine.conversion_info.plan}):
+    Per materialized conversion (from {!Pass.conversion_info.plan} —
+    the type {!Engine.conversion_info} re-exports):
     - the bank-conflict certifier {!Analysis.Bank_check} ([LL3xx]);
     - the race/barrier checker {!Analysis.Races} ([LL2xx]).
 
@@ -19,4 +20,4 @@ open Linear_layout
 
 (** [passes machine prog ~result] — [prog] must already have layouts
     assigned (i.e. [result = Engine.run ... prog] was called on it). *)
-val passes : Gpusim.Machine.t -> Program.t -> result:Engine.result -> Diagnostics.t list
+val passes : Gpusim.Machine.t -> Program.t -> result:Pass.result -> Diagnostics.t list

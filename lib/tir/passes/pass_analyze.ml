@@ -1,0 +1,22 @@
+let name = "analyze"
+
+let description =
+  "run the verifier and static-analysis lints over the final assignment \
+   (linear mode)"
+
+(* The lib/analysis checkers as a pipeline citizen: the LL6xx verifier
+   re-derives every instruction's layout obligations, and the Lint
+   driver sweeps coalescing, broadcast redundancy, bank certification
+   and race checks over the materialized conversions.  Legacy-mode
+   assignments are not verified: the baseline rewrites unsupported
+   layouts in place (its forced normalization conversions), so the
+   per-op relations are not observable on the final state. *)
+let run (st : Pass.state) =
+  match st.Pass.mode with
+  | Pass.Legacy_mode -> ()
+  | Pass.Linear ->
+      let ds =
+        Verifier.program st.Pass.prog
+        @ Lint.passes st.Pass.machine st.Pass.prog ~result:(Pass.result st)
+      in
+      st.Pass.diags <- st.Pass.diags @ ds

@@ -1,0 +1,7 @@
+(** The {!Verifier} and {!Lint} checkers as a pipeline pass: appends
+    their diagnostics to the state (linear mode only; legacy
+    assignments are normalized in place and not verifiable). *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

@@ -1,0 +1,7 @@
+(** Anchor assignment: coalesced blocked layouts for global loads and
+    register-computable values, access-event recording, and chain-cost
+    seeds for backward rematerialization (Section 4.4). *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

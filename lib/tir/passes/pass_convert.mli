@@ -1,0 +1,8 @@
+(** Conversion insertion: plans, classifies and costs every surviving
+    conversion request with the Section 5 algorithms (no-op detection,
+    register permutation, warp shuffles, optimal swizzling, ldmatrix
+    staging), or the legacy padded shared-memory round trip. *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

@@ -1,0 +1,10 @@
+(** Forward layout propagation (Section 4.4): one in-order walk
+    assigning every non-anchor instruction's layout via the linear
+    transfer functions, queueing snapshotted conversion requests and
+    store decisions into {!Pass.state.pending}, and accounting
+    compute-op costs (elementwise ALU, mma, reduction/scan exchange,
+    gather plans). *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

@@ -1,0 +1,8 @@
+(** Lowering of recorded access events: global loads/stores through the
+    machine's coalescing model into instruction/transaction counts, and
+    register materializations into ALU ops.  Emits [LL701] when a store
+    was never planned (backward pass skipped). *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

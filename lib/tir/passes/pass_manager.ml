@@ -1,0 +1,103 @@
+open Linear_layout
+
+type pass_report = {
+  pass : string;
+  wall_ms : float;
+  diagnostics : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+type report = { pass_reports : pass_report list; total_ms : float }
+type hook = string -> Pass.state -> unit
+
+type config = {
+  passes : Pass.t list;
+  disabled : string list;
+  dump_after : hook option;
+  dump_filter : string -> bool;
+}
+
+let config ?(disabled = []) ?dump_after ?(dump_filter = fun _ -> true) passes =
+  { passes; disabled; dump_after; dump_filter }
+
+let run config (st : Pass.state) =
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.filter_map
+      (fun ((module P : Pass.PASS) as _p) ->
+        if List.mem P.name config.disabled then None
+        else begin
+          let d0 = List.length st.Pass.diags in
+          let plan_hits0 = Codegen.Plan_cache.hits ()
+          and plan_misses0 = Codegen.Plan_cache.misses () in
+          let memo_hits0 = Layout.Memo.hits () and memo_misses0 = Layout.Memo.misses () in
+          let p0 = Unix.gettimeofday () in
+          P.run st;
+          let wall_ms = 1000. *. (Unix.gettimeofday () -. p0) in
+          (* Attribute the diagnostics this pass appended to it. *)
+          st.Pass.diags <-
+            List.mapi
+              (fun idx d -> if idx >= d0 then Diagnostics.with_pass P.name d else d)
+              st.Pass.diags;
+          Option.iter
+            (fun hook -> if config.dump_filter P.name then hook P.name st)
+            config.dump_after;
+          Some
+            {
+              pass = P.name;
+              wall_ms;
+              diagnostics = List.length st.Pass.diags - d0;
+              plan_cache_hits = Codegen.Plan_cache.hits () - plan_hits0;
+              plan_cache_misses = Codegen.Plan_cache.misses () - plan_misses0;
+              memo_hits = Layout.Memo.hits () - memo_hits0;
+              memo_misses = Layout.Memo.misses () - memo_misses0;
+            }
+        end)
+      config.passes
+  in
+  { pass_reports = reports; total_ms = 1000. *. (Unix.gettimeofday () -. t0) }
+
+(* {1 Reporting} *)
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-20s %9s %6s %11s %11s@."
+    "pass" "ms" "diags" "plan h/m" "memo h/m";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-20s %9.3f %6d %5d/%-5d %5d/%-5d@." p.pass p.wall_ms
+        p.diagnostics p.plan_cache_hits p.plan_cache_misses p.memo_hits p.memo_misses)
+    r.pass_reports;
+  Format.fprintf ppf "%-20s %9.3f@." "total" r.total_ms
+
+let to_json r =
+  let pass p =
+    Printf.sprintf
+      "{\"pass\":\"%s\",\"wall_ms\":%.6f,\"diagnostics\":%d,\"plan_cache\":{\"hits\":%d,\"misses\":%d},\"memo\":{\"hits\":%d,\"misses\":%d}}"
+      (Diagnostics.json_escape p.pass)
+      p.wall_ms p.diagnostics p.plan_cache_hits p.plan_cache_misses p.memo_hits
+      p.memo_misses
+  in
+  Printf.sprintf "{\"total_ms\":%.6f,\"passes\":[%s]}" r.total_ms
+    (String.concat "," (List.map pass r.pass_reports))
+
+(* Default dump-after printer: the per-instruction layout assignment as
+   it stands, plus the running totals. *)
+let pp_state ppf (st : Pass.state) =
+  Array.iteri
+    (fun i (ins : Program.instr) ->
+      Format.fprintf ppf "%%%d %s : %s@." i
+        (Legacy.Support.kind_name ins.Program.kind)
+        (match ins.Program.layout with
+        | None -> "(no layout)"
+        | Some l -> Layout.to_string l))
+    (Program.instrs st.Pass.prog);
+  Format.fprintf ppf
+    "cost so far: %a@.pending %d, conversions %d, converts %d, noops %d, folded %d, \
+     remats %d@."
+    Gpusim.Cost.pp st.Pass.total
+    (List.length st.Pass.pending)
+    (List.length st.Pass.convs)
+    st.Pass.converts st.Pass.noops st.Pass.folded st.Pass.remats

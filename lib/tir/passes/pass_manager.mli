@@ -1,0 +1,50 @@
+(** The pipeline driver: runs a configured pass list over a
+    {!Pass.state} with per-pass instrumentation — wall-clock timing,
+    diagnostic attribution (each diagnostic a pass emits is tagged with
+    the pass name), {!Codegen.Plan_cache} and
+    {!Linear_layout.Layout.Memo} hit/miss deltas, and an optional
+    dump-after-pass hook. *)
+
+type pass_report = {
+  pass : string;
+  wall_ms : float;
+  diagnostics : int;  (** diagnostics this pass appended *)
+  plan_cache_hits : int;  (** {!Codegen.Plan_cache} delta during the pass *)
+  plan_cache_misses : int;
+  memo_hits : int;  (** {!Linear_layout.Layout.Memo} delta during the pass *)
+  memo_misses : int;
+}
+
+type report = { pass_reports : pass_report list; total_ms : float }
+
+type hook = string -> Pass.state -> unit
+(** Called as [hook pass_name state] after each (enabled, filtered)
+    pass finishes. *)
+
+type config = {
+  passes : Pass.t list;
+  disabled : string list;  (** pass names to skip *)
+  dump_after : hook option;
+  dump_filter : string -> bool;  (** which passes trigger the hook *)
+}
+
+val config :
+  ?disabled:string list ->
+  ?dump_after:hook ->
+  ?dump_filter:(string -> bool) ->
+  Pass.t list ->
+  config
+
+(** Run the enabled passes in list order, instrumenting each. *)
+val run : config -> Pass.state -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** The report as a JSON object:
+    [{"total_ms":..., "passes":[{"pass":..., "wall_ms":...,
+    "diagnostics":..., "plan_cache":{...}, "memo":{...}}, ...]}]. *)
+val to_json : report -> string
+
+(** Default dump-after printer: per-instruction layout assignment and
+    running totals. *)
+val pp_state : Format.formatter -> Pass.state -> unit

@@ -1,0 +1,9 @@
+(** Backward rematerialization and store-anchor decisions
+    (Section 4.4): completes the chain-cost table through elementwise
+    ops, replaces conversions by cheap recomputation chains where that
+    wins, and fixes each store's layout (producer layout vs coalesced
+    anchor). *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

@@ -1,0 +1,22 @@
+open Linear_layout
+
+let name = "simplify"
+let description = "fold conversion requests whose source already has the target layout"
+
+(* Equal-layout folding: a foldable request whose snapshot source layout
+   structurally equals its destination needs no code at all — not even a
+   no-op plan.  This runs before [backward_remat] on purpose: a folded
+   request must not be considered for rematerialization (in legacy mode
+   the padded-roundtrip estimate for an equal-layout pair is nonzero, so
+   a cheap chain could otherwise "win" against a conversion that never
+   needed to exist). *)
+let run (st : Pass.state) =
+  st.Pass.pending <-
+    List.filter
+      (function
+        | Pass.Convert r when r.Pass.foldable && Layout.equal r.Pass.src_layout r.Pass.dst
+          ->
+            st.Pass.folded <- st.Pass.folded + 1;
+            false
+        | _ -> true)
+      st.Pass.pending

@@ -1,0 +1,7 @@
+(** Equal-layout folding: drops foldable conversion requests whose
+    source already carries the requested layout, before the backward
+    pass can consider them for rematerialization. *)
+
+val name : string
+val description : string
+val run : Pass.state -> unit

@@ -1,0 +1,59 @@
+(** Pure layout/cost helpers shared by the engine passes: default
+    blocked anchors, mma operand/output layouts, vectorization widths,
+    the coalescing model for global accesses, and the shape-op layout
+    transfer functions (Section 4.4). *)
+
+open Linear_layout
+
+val bits_of : Tensor_lib.Dtype.t -> int
+val byte_width_of : Tensor_lib.Dtype.t -> int
+val pow2_floor : int -> int
+
+(** The coalesced blocked anchor layout for a tensor (Section 4.4). *)
+val default_blocked :
+  Gpusim.Machine.t ->
+  num_warps:int ->
+  shape:int array ->
+  dtype:Tensor_lib.Dtype.t ->
+  Layout.t
+
+val mma_bitwidth : Tensor_lib.Dtype.t -> int
+
+(** Whether every tensor dimension holds at least one mma tile. *)
+val dot_fits : m:int -> n:int -> k:int -> a_bits:int -> b_bits:int -> bool
+
+(** [(out, a, b)] layouts for a dot of the given problem shape; blocked
+    fallbacks when the shape is below one mma tile. *)
+val dot_layouts :
+  Gpusim.Machine.t ->
+  num_warps:int ->
+  m:int ->
+  n:int ->
+  k:int ->
+  a_dtype:Tensor_lib.Dtype.t ->
+  b_dtype:Tensor_lib.Dtype.t ->
+  Layout.t * Layout.t * Layout.t
+
+val legacy_vec : Layout.t -> int
+val linear_vec : Gpusim.Machine.t -> Layout.t -> byte_width:int -> int
+
+(** Mode-dispatching vectorization width. *)
+val vec_for : Pass.state -> Layout.t -> byte_width:int -> int
+
+(** [(instructions, transactions)] for a global access of the layout
+    under the given vectorization, summed over all warps. *)
+val global_access_counts : Layout.t -> byte_width:int -> vec:int -> int * int
+
+(** Abstract time of a [src] -> [dst] conversion in the state's mode,
+    for the backward pass's remat / direct-store comparisons. *)
+val convert_estimate :
+  Pass.state -> src:Layout.t -> dst:Layout.t -> byte_width:int -> float
+
+val sliced_kind : Legacy.Support.layout_kind -> Legacy.Support.layout_kind
+
+(** Renames dimK -> dimK+delta for K >= axis (delta = +1/-1). *)
+val rename_dims_above : Layout.t -> axis:int -> delta:int -> Layout.t
+
+(** Broadcast transfer function: grow size-1 output dimensions to
+    [shape] through the input's free lane/warp bits (Section 6.2). *)
+val broadcast_layout : Layout.t -> shape:int array -> Layout.t

@@ -1,18 +1,8 @@
-(** Post-engine validation: re-derive every instruction's layout
-    obligations from its operation and check the engine's assignment —
-    the kind of verifier pass a production compiler runs after layout
-    assignment.
-
-    Checks per instruction (codes [LL6xx], plus re-emitted [LL1xx]
-    well-formedness errors from {!Linear_layout.Check.distributed}):
-    - [LL601] no layout assigned;
-    - [LL602] the layout does not cover the instruction's shape;
-    - [LL603] the layout is not surjective;
-    - [LL605] a transpose's layout is not the renamed input layout;
-    - [LL606] a reshape changed the flattened layout matrix;
-    - [LL607] an expand/split increased the layout's rank;
-    - [LL608] a reduction's result does not slice the input layout;
-    - [LL609] a broadcast does not extend the input layout. *)
+(** Post-engine validation: run the engine and check its assignment
+    with the {!Verifier} (codes [LL6xx]; see that module for the full
+    list), optionally with the {!Lint} sweep.  [run_and_validate]
+    drives the pass pipeline directly, running the verifier + lints as
+    the [analyze] pass when requested. *)
 
 open Linear_layout
 
@@ -20,6 +10,7 @@ type issue = Diagnostics.t
 (** @deprecated alias kept for callers of the pre-diagnostics API. *)
 
 val program : Program.t -> Diagnostics.t list
+(** Alias of {!Verifier.program}. *)
 
 (** [analyze machine prog ~result] = {!program} plus the full
     {!Lint.passes} sweep (coalescing, broadcast redundancy, bank

@@ -1,0 +1,20 @@
+(** The layout-assignment verifier: re-derives every instruction's
+    layout obligations from its operation and checks the engine's
+    assignment — the kind of verifier pass a production compiler runs
+    after layout assignment.  Runs standalone (via {!Validate}) or as
+    the [analyze] pipeline pass.
+
+    Checks per instruction (codes [LL6xx], plus re-emitted [LL1xx]
+    well-formedness errors from {!Linear_layout.Check.distributed}):
+    - [LL601] no layout assigned;
+    - [LL602] the layout does not cover the instruction's shape;
+    - [LL603] the layout is not surjective;
+    - [LL605] a transpose's layout is not the renamed input layout;
+    - [LL606] a reshape changed the flattened layout matrix;
+    - [LL607] an expand/split increased the layout's rank;
+    - [LL608] a reduction's result does not slice the input layout;
+    - [LL609] a broadcast does not extend the input layout. *)
+
+open Linear_layout
+
+val program : Program.t -> Diagnostics.t list
