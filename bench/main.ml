@@ -113,6 +113,20 @@ let bench_tests () =
              Tir.Pass_manager.run (Tir.Pass_manager.config Tir.Passes.default) st
            in
            ignore (Tir.Pass.result st)));
+    (* Observability overhead: the same warm engine run with
+       instrumentation disabled (the default — every obs site must cost
+       one load and a branch) and with a live trace sink.  The disabled
+       variant should be within noise of engine-gemm-linear-warm. *)
+    Test.make ~name:"obs/engine-gemm-obs-disabled"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512))));
+    Test.make ~name:"obs/engine-gemm-obs-traced"
+      (Staged.stage (fun () ->
+           let trace = Obs.Trace.create ~capacity:4096 () in
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear ~trace
+                (gemm.Tir.Kernels.build ~size:512))));
     (* Conversion planning end to end, cold vs warm. *)
     Test.make ~name:"conversion/plan+classify-cold"
       (Staged.stage (fun () ->

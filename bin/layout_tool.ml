@@ -199,9 +199,40 @@ let lower_cmd =
       const lower $ machine_arg $ shape_arg $ kind_arg "src" "blocked" $ kind_arg "dst" "mma"
       $ spt_arg $ tpw_arg $ warps_arg $ order_arg $ bitwidth_arg $ byte_width_arg)
 
+(* {1 metrics support} *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect planner/simulator metrics during the run and write the flat metrics \
+           JSON to $(docv).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+(* Run [f] with metrics collection when [metrics] names a file, writing
+   the snapshot afterwards; otherwise just run [f]. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.Metrics.reset ();
+      Obs.with_enabled (fun () ->
+          Fun.protect
+            ~finally:(fun () -> write_file path (Obs.Metrics.to_json (Obs.Metrics.snapshot ())))
+            f)
+
 (* {1 engine} *)
 
-let engine machine kernel_name all autotune passes_csv disabled dump_after timings json =
+let engine machine kernel_name all autotune passes_csv disabled dump_after timings json
+    metrics =
+  with_metrics metrics @@ fun () ->
   let pass_list =
     match passes_csv with
     | None -> Tir.Passes.default
@@ -341,7 +372,62 @@ let engine_cmd =
           optional per-pass timings, dump-after-pass and pass selection.")
     Term.(
       const engine $ machine_arg $ kernel_arg $ engine_all_arg $ autotune_arg
-      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ timings_arg $ engine_json_arg)
+      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ timings_arg $ engine_json_arg
+      $ metrics_arg)
+
+(* {1 trace} *)
+
+let trace machine kernel_name all out metrics =
+  Option.iter (fun _ -> Obs.Metrics.reset ()) metrics;
+  let sink = Obs.Trace.create () in
+  let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+  Obs.Trace.with_sink sink (fun () ->
+      List.iter
+        (fun (k : Tir.Kernels.kernel) ->
+          let size = List.hd k.Tir.Kernels.sizes in
+          let span =
+            Obs.Span.enter ("kernel/" ^ k.Tir.Kernels.name)
+              ~attrs:[ ("size", string_of_int size) ]
+          in
+          let prog = k.Tir.Kernels.build ~size in
+          let r = Tir.Engine.run machine ~mode:Tir.Engine.Linear prog in
+          Obs.Span.exit span
+            ~attrs:
+              [
+                ("converts", string_of_int r.Tir.Engine.converts);
+                ("time", Printf.sprintf "%.0f" (Tir.Engine.time machine r));
+              ])
+        kernels);
+  write_file out (Obs.Export.chrome_json (Obs.Trace.events sink));
+  Printf.printf "wrote %d trace events for %d kernel(s) to %s\n" (Obs.Trace.length sink)
+    (List.length kernels) out;
+  if Obs.Trace.dropped sink > 0 then
+    Printf.printf "warning: ring buffer dropped %d events\n" (Obs.Trace.dropped sink);
+  Option.iter
+    (fun path -> write_file path (Obs.Metrics.to_json (Obs.Metrics.snapshot ())))
+    metrics
+
+let trace_kernel_arg =
+  Arg.(
+    value & pos 0 string "gemm"
+    & info [] ~docv:"KERNEL"
+        ~doc:"Kernel to trace (see $(b,--kernel) on the engine subcommand for names).")
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Where to write the Chrome trace_event JSON (default trace.json).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the layout engine on a kernel (or $(b,--all)) with the observability layer \
+          enabled and export a Chrome trace_event JSON, loadable in chrome://tracing or \
+          https://ui.perfetto.dev.")
+    Term.(const trace $ machine_arg $ trace_kernel_arg $ engine_all_arg $ trace_out_arg
+          $ metrics_arg)
 
 (* {1 passes} *)
 
@@ -362,7 +448,11 @@ let passes_cmd =
 (* {1 lint} *)
 
 let lint machine kernel_name all conv shape src_kind dst_kind spt tpw warps order bitwidth
-    byte_width json =
+    byte_width json metrics =
+  (* [exit] would bypass [with_metrics]'s finalizer, so the failure is
+     returned and acted on outside it. *)
+  let failed =
+    with_metrics metrics @@ fun () ->
   let entries = ref [] in
   let record label ds = entries := (label, ds) :: !entries in
   (if conv then (
@@ -398,7 +488,9 @@ let lint machine kernel_name all conv shape src_kind dst_kind spt tpw warps orde
       close_out oc);
   let errors = Diagnostics.errors flat in
   Printf.printf "%d diagnostic(s), %d error(s)\n" (List.length flat) (List.length errors);
-  if errors <> [] then exit 1
+  errors <> []
+  in
+  if failed then exit 1
 
 let all_arg =
   Arg.(value & flag & info [ "all" ] ~doc:"Lint every built-in kernel (overrides --kernel).")
@@ -425,7 +517,7 @@ let lint_cmd =
     Term.(
       const lint $ machine_arg $ kernel_arg $ all_arg $ conv_arg $ shape_arg
       $ kind_arg "src" "blocked" $ kind_arg "dst" "mma" $ spt_arg $ tpw_arg $ warps_arg
-      $ order_arg $ bitwidth_arg $ byte_width_arg $ json_arg)
+      $ order_arg $ bitwidth_arg $ byte_width_arg $ json_arg $ metrics_arg)
 
 let () =
   let info =
@@ -434,4 +526,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ show_cmd; convert_cmd; swizzle_cmd; lower_cmd; engine_cmd; passes_cmd; lint_cmd ]))
+          [
+            show_cmd;
+            convert_cmd;
+            swizzle_cmd;
+            lower_cmd;
+            engine_cmd;
+            trace_cmd;
+            passes_cmd;
+            lint_cmd;
+          ]))

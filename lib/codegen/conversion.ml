@@ -22,6 +22,14 @@ let mechanism_name = function
   | Shared_memory _ -> "shared memory"
   | Global_roundtrip -> "global memory (cross-CTA)"
 
+let mechanism_slug = function
+  | No_op -> "noop"
+  | Register_permute -> "register_permute"
+  | Warp_shuffle _ -> "warp_shuffle"
+  | Warp_shuffle_compressed _ -> "warp_shuffle_compressed"
+  | Shared_memory _ -> "shared_memory"
+  | Global_roundtrip -> "global_roundtrip"
+
 let plan machine ~src ~dst ~byte_width =
   let mech =
     if Layout.equal src dst then No_op
@@ -44,6 +52,7 @@ let plan machine ~src ~dst ~byte_width =
               | Ok inner -> Warp_shuffle_compressed inner
               | Error _ -> Shared_memory (Swizzle_opt.optimal machine ~src ~dst ~byte_width))
   in
+  Obs.Metrics.incr ("codegen.conversion." ^ mechanism_slug mech);
   { src; dst; byte_width; mechanism = mech }
 
 let execute_algebraic plan (d : Gpusim.Dist.t) =

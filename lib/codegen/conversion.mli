@@ -40,6 +40,10 @@ val conversion_map : src:Layout.t -> dst:Layout.t -> Layout.t
 
 val mechanism_name : mechanism -> string
 
+(** Stable snake_case identifier, used in metric names
+    ([codegen.conversion.<slug>]). *)
+val mechanism_slug : mechanism -> string
+
 (** Move the data.  Uses the true shuffle executor for warp-shuffle
     plans (validating shuffle semantics) and the algebraic path
     otherwise. *)

@@ -121,4 +121,6 @@ let mma_instructions ~out ~lhs ~bitwidth =
   in
   let tiles_per_warp = max 1 (elems_per_warp / (16 * 8)) in
   let k_steps = max 1 (k / max 1 (256 / bitwidth)) in
-  warps * tiles_per_warp * k_steps
+  let insts = warps * tiles_per_warp * k_steps in
+  Obs.Metrics.observe "codegen.mma.instructions" insts;
+  insts

@@ -112,7 +112,11 @@ let plan_exn machine ~src ~dst ~byte_width =
         in
         let score s = Gpusim.Cost.estimate machine s.staging_cost in
         match List.sort (fun a b -> compare (score a) (score b)) candidates with
-        | best :: _ -> Some best
+        | best :: _ ->
+            Obs.Metrics.incr "codegen.staging.planned";
+            if best.uses_ldmatrix then Obs.Metrics.incr "codegen.staging.ldmatrix";
+            Obs.Metrics.observe "codegen.staging.vec" best.vec;
+            Some best
         | [] -> None
       end
 

@@ -45,6 +45,8 @@ let plan machine ~src ~dst ~byte_width =
       else
         let ext = F2.Subspace.complete_basis ~dim:d vig in
         let payload_bytes = (1 lsl List.length vec) * byte_width in
+        Obs.Metrics.observe "codegen.shuffle.rounds" (1 lsl List.length ext);
+        Obs.Metrics.observe "codegen.shuffle.vec_bits" (List.length vec);
         Ok
           {
             src;

@@ -115,14 +115,21 @@ let optimal machine ~src ~dst ~byte_width =
       non_thread @ thread
   in
   let mem = Shared.of_basis_columns ~shape:(logical_shape src) (vec @ bank @ seg) in
+  let store_wf = predict_wavefronts machine ~vec ~seg ~dist:src ~byte_width in
+  let load_wf = predict_wavefronts machine ~vec ~seg ~dist:dst ~byte_width in
+  Obs.Metrics.observe "codegen.swizzle.vec_bits" v;
+  Obs.Metrics.observe "codegen.swizzle.store_wavefronts" store_wf;
+  Obs.Metrics.observe "codegen.swizzle.load_wavefronts" load_wf;
+  if store_wf <= 1 && load_wf <= 1 then
+    Obs.Metrics.incr "codegen.swizzle.conflict_free";
   {
     mem;
     vec;
     seg;
     bank;
     vec_bits = v;
-    store_wavefronts = predict_wavefronts machine ~vec ~seg ~dist:src ~byte_width;
-    load_wavefronts = predict_wavefronts machine ~vec ~seg ~dist:dst ~byte_width;
+    store_wavefronts = store_wf;
+    load_wavefronts = load_wf;
   }
 
 let simulate_wavefronts machine ~mem ~dist ~byte_width ~vec =

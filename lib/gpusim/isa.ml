@@ -21,8 +21,21 @@ let accesses_of ~slots ~addr ~byte_width p w =
   List.init p.lanes (fun lane ->
       { Banks.addr = addr.(w).(lane) * byte_width; bytes = List.length slots * byte_width })
 
+let instr_class = function
+  | Mov _ -> "mov"
+  | Sel _ -> "sel"
+  | Scatter _ -> "scatter"
+  | Shfl_idx _ -> "shfl"
+  | St_shared _ -> "st_shared"
+  | Ld_shared _ -> "ld_shared"
+  | Bin _ -> "bin"
+  | Bar_sync -> "bar"
+
 let run machine p st =
   let cost = Cost.zero () in
+  (* One flag read for the whole run keeps the per-instruction overhead
+     at a single branch when nothing is observing. *)
+  let obs = Obs.enabled () in
   let check_lane_table name a =
     if
       Array.length a <> p.warps
@@ -31,6 +44,7 @@ let run machine p st =
   in
   List.iter
     (fun instr ->
+      if obs then Obs.Metrics.incr ("isa.instr." ^ instr_class instr);
       match instr with
       | Mov { dst; src } ->
           for w = 0 to p.warps - 1 do
@@ -114,6 +128,9 @@ let run machine p st =
           cost.Cost.alu <- cost.Cost.alu + p.warps
       | Bar_sync -> cost.Cost.barriers <- cost.Cost.barriers + 1)
     p.body;
+  if obs then
+    Obs.Metrics.observe "isa.cost.estimate"
+      (int_of_float (ceil (Cost.estimate machine cost)));
   cost
 
 let static_counts p =

@@ -1,0 +1,16 @@
+(* Pluggable time source.  Everything in the observability layer (spans,
+   pass wall-clocks) reads time through [now], so tests can install a
+   deterministic stub and pin trace output without pinning durations. *)
+
+let real = Unix.gettimeofday
+let source = Atomic.make real
+let now () = (Atomic.get source) ()
+let set f = Atomic.set source f
+let reset () = Atomic.set source real
+
+(* A deterministic clock: every call advances by [step] seconds,
+   starting at [start].  The counter is atomic so the stub stays
+   well-defined when several domains record concurrently. *)
+let fixed ?(start = 0.) ?(step = 0.001) () =
+  let ticks = Atomic.make 0 in
+  set (fun () -> start +. (float_of_int (Atomic.fetch_and_add ticks 1) *. step))

@@ -1,0 +1,19 @@
+(** Pluggable time source for the observability layer.
+
+    All spans and pass timers read time through {!now}.  The default
+    source is [Unix.gettimeofday]; tests install a deterministic stub
+    with {!set} or {!fixed} so span trees can be compared without
+    comparing durations. *)
+
+(** Seconds, from the installed source (default: wall clock). *)
+val now : unit -> float
+
+(** Install a replacement time source. *)
+val set : (unit -> float) -> unit
+
+(** Restore the wall clock. *)
+val reset : unit -> unit
+
+(** Install a deterministic clock that advances [step] (default 1ms)
+    seconds on every call, starting at [start] (default 0). *)
+val fixed : ?start:float -> ?step:float -> unit -> unit

@@ -1,0 +1,13 @@
+(* The master instrumentation switch.  A single atomic boolean shared by
+   every domain: instrumentation sites read it once and skip all work
+   (and all allocation) when it is off, so the disabled cost is one load
+   and one branch.  Installing a trace sink (see Trace) turns it on. *)
+
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled f =
+  let prev = Atomic.get flag in
+  Atomic.set flag true;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f

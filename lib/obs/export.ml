@@ -1,0 +1,298 @@
+(* Machine-readable trace export.
+
+   The primary format is Chrome's trace_event JSON (loadable in
+   chrome://tracing and Perfetto): duration events "B"/"E" plus instant
+   events "i", timestamps in microseconds, attributes in "args".
+
+   A minimal JSON parser lives here too, so the qcheck round-trip
+   property (span tree -> JSON -> span tree) needs no external
+   dependency, and tests can schema-check the tool's output. *)
+
+let escape = Metrics.json_escape
+
+(* {1 Writing} *)
+
+let phase_string = function Trace.Begin -> "B" | Trace.End -> "E" | Trace.Instant -> "i"
+
+let event_json (e : Trace.event) =
+  let args =
+    match e.Trace.attrs with
+    | [] -> ""
+    | attrs ->
+        Printf.sprintf ",\"args\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+                attrs))
+  in
+  let scope = match e.Trace.phase with Trace.Instant -> ",\"s\":\"t\"" | _ -> "" in
+  Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d%s%s}"
+    (escape e.Trace.name) (phase_string e.Trace.phase)
+    (e.Trace.ts *. 1e6)
+    e.Trace.tid scope args
+
+let chrome_json events =
+  Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
+    (String.concat "," (List.map event_json events))
+
+(* {1 A minimal JSON parser} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with Some v -> v | None -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance ()
+          | Some '/' -> Buffer.add_char b '/'; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance ()
+          | Some 'u' ->
+              advance ();
+              let v = parse_hex4 () in
+              (* Only codepoints below 256 are ever produced by our
+                 escaper; encode others as UTF-8. *)
+              if v < 0x80 then Buffer.add_char b (Char.chr v)
+              else if v < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (v lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (v land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (v lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (v land 0x3F)))
+              end
+          | _ -> fail "bad escape");
+          go ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* {1 Reading Chrome traces back} *)
+
+let parse_chrome text =
+  let field obj k = List.assoc_opt k obj in
+  let event_of_json = function
+    | Obj o -> (
+        let str k = match field o k with Some (Str s) -> Some s | _ -> None in
+        let num k = match field o k with Some (Num f) -> Some f | _ -> None in
+        match (str "name", str "ph", num "ts") with
+        | Some name, Some ph, Some ts ->
+            let phase =
+              match ph with
+              | "B" -> Some Trace.Begin
+              | "E" -> Some Trace.End
+              | "i" | "I" -> Some Trace.Instant
+              | _ -> None
+            in
+            Option.map
+              (fun phase ->
+                let tid =
+                  match num "tid" with Some f -> int_of_float f | None -> 0
+                in
+                let attrs =
+                  match field o "args" with
+                  | Some (Obj args) ->
+                      List.filter_map
+                        (fun (k, v) -> match v with Str s -> Some (k, s) | _ -> None)
+                        args
+                  | _ -> []
+                in
+                { Trace.phase; name; ts = ts /. 1e6; tid; attrs })
+              phase
+        | _ -> None)
+    | _ -> None
+  in
+  match parse_json text with
+  | Error e -> Error e
+  | Ok (Obj o) -> (
+      match List.assoc_opt "traceEvents" o with
+      | Some (Arr events) -> Ok (List.filter_map event_of_json events)
+      | _ -> Error "no traceEvents array")
+  | Ok _ -> Error "top level is not an object"
+
+(* {1 Span trees} *)
+
+type tree = { name : string; attrs : (string * string) list; children : tree list }
+
+(* Rebuild the span forest from event order, per tid (ascending), the
+   same way the Chrome viewer nests B/E pairs.  End-event attributes are
+   appended to the node's begin attributes.  Unbalanced traces (ring
+   overwrite) degrade gracefully: stray Ends are dropped, unclosed
+   Begins are closed at the end of the stream. *)
+let tree_of_events events =
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Trace.tid) events) in
+  List.concat_map
+    (fun tid ->
+      let events = List.filter (fun e -> e.Trace.tid = tid) events in
+      (* stack frames: (name, attrs, children in reverse) *)
+      let stack = ref [] and roots = ref [] in
+      let push_node node =
+        match !stack with
+        | [] -> roots := node :: !roots
+        | (n, a, kids) :: rest -> stack := (n, a, node :: kids) :: rest
+      in
+      let close extra_attrs =
+        match !stack with
+        | [] -> ()
+        | (n, a, kids) :: rest ->
+            stack := rest;
+            push_node { name = n; attrs = a @ extra_attrs; children = List.rev kids }
+      in
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.phase with
+          | Trace.Begin -> stack := (e.Trace.name, e.Trace.attrs, []) :: !stack
+          | Trace.End -> close e.Trace.attrs
+          | Trace.Instant ->
+              push_node { name = e.Trace.name; attrs = e.Trace.attrs; children = [] })
+        events;
+      while !stack <> [] do
+        close []
+      done;
+      List.rev !roots)
+    tids
+
+(* The inverse of [tree_of_events] for well-formed forests: emit the
+   forest as Begin/End pairs with synthetic strictly-increasing
+   timestamps (1 µs apart). *)
+let events_of_trees ?(tid = 0) forest =
+  let ts = ref 0. in
+  let next () =
+    let t = !ts in
+    ts := t +. 1e-6;
+    t
+  in
+  let rec emit acc t =
+    let acc =
+      { Trace.phase = Trace.Begin; name = t.name; ts = next (); tid; attrs = t.attrs } :: acc
+    in
+    let acc = List.fold_left emit acc t.children in
+    { Trace.phase = Trace.End; name = t.name; ts = next (); tid; attrs = [] } :: acc
+  in
+  List.rev (List.fold_left emit [] forest)
+
+let rec render_tree t =
+  match t.children with
+  | [] -> t.name
+  | kids -> t.name ^ "(" ^ String.concat " " (List.map render_tree kids) ^ ")"
+
+let render_forest forest = String.concat " " (List.map render_tree forest)

@@ -1,0 +1,19 @@
+(** The observability spine: tracing ({!Span} + {!Trace}), metrics
+    ({!Metrics}), a pluggable clock ({!Clock}) and machine-readable
+    export ({!Export}).
+
+    Everything is gated on one flag: while {!enabled} is false, every
+    instrumentation site in the stack reduces to a load and a branch
+    (no allocation).  Installing a trace sink ({!Trace.install} /
+    {!Trace.with_sink}) turns the flag on; {!set_enabled} turns on
+    metrics-only collection without a trace. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Span = Span
+module Export = Export
+
+let enabled = Control.enabled
+let set_enabled = Control.set_enabled
+let with_enabled = Control.with_enabled

@@ -16,23 +16,39 @@ let best ?(domains = 1) machine ~mode ~build ~size =
   let n = Array.length configs in
   if n = 0 then invalid_arg "Autotune.best: no configurations";
   let eval i =
+    let span =
+      Obs.Span.enter "autotune/candidate"
+        ~attrs:[ ("num_warps", string_of_int configs.(i).num_warps) ]
+    in
     let r = run_config machine ~mode ~build ~size configs.(i) in
-    (Engine.time machine r, (configs.(i), r))
+    let t = Engine.time machine r in
+    Obs.Span.exit span ~attrs:[ ("time", Printf.sprintf "%.6f" t) ];
+    (t, (configs.(i), r))
   in
   let domains = max 1 (min domains n) in
+  let span = Obs.Span.enter "autotune/best" in
   let results =
     if domains = 1 then Array.init n eval
     else begin
+      (* The trace sink and enabled flag are cross-domain (atomics), so
+         worker spans land in the shared ring directly; the metrics
+         registry is per-domain (Domain.DLS), so each worker hands its
+         snapshot back for the parent to absorb. *)
       let chunk d =
         let rec go i acc = if i >= n then acc else go (i + domains) ((i, eval i) :: acc) in
-        go d []
+        let rows = go d [] in
+        (rows, Obs.Metrics.snapshot ())
       in
       let parts =
         List.init domains (fun d -> Domain.spawn (fun () -> chunk d))
         |> List.map Domain.join
       in
       let out = Array.make n None in
-      List.iter (List.iter (fun (i, r) -> out.(i) <- Some r)) parts;
+      List.iter
+        (fun (rows, snap) ->
+          Obs.Metrics.absorb snap;
+          List.iter (fun (i, r) -> out.(i) <- Some r) rows)
+        parts;
       Array.map Option.get out
     end
   in
@@ -44,6 +60,12 @@ let best ?(domains = 1) machine ~mode ~build ~size =
       best_v := v
     end
   done;
+  Obs.Span.exit span
+    ~attrs:
+      [
+        ("candidates", string_of_int n);
+        ("winner.num_warps", string_of_int (fst !best_v).num_warps);
+      ];
   !best_v
 
 let tuning_gain machine ~mode ~build ~size =

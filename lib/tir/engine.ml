@@ -24,8 +24,8 @@ type result = Pass.result = {
 
 let time machine r = Gpusim.Cost.estimate machine r.cost
 
-let run machine ~mode ?num_warps prog =
-  let st = Pass.init machine ~mode ?num_warps prog in
+let run machine ~mode ?num_warps ?trace prog =
+  let st = Pass.init machine ~mode ?num_warps ?trace prog in
   let (_ : Pass_manager.report) =
     Pass_manager.run (Pass_manager.config Passes.default) st
   in

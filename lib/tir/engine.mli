@@ -48,5 +48,13 @@ val time : Gpusim.Machine.t -> result -> float
 (** [run machine ~mode program] assigns layouts (mutating the program's
     [layout] fields; any previous assignment is reset first, so reruns
     are idempotent) and returns the accumulated statistics.
-    [num_warps] defaults to 4. *)
-val run : Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> Program.t -> result
+    [num_warps] defaults to 4.  [trace], if given, is installed as the
+    observability sink for the duration of the run, collecting per-pass
+    spans and planner metrics (see {!Obs}). *)
+val run :
+  Gpusim.Machine.t ->
+  mode:mode ->
+  ?num_warps:int ->
+  ?trace:Obs.Trace.t ->
+  Program.t ->
+  result

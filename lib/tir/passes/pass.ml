@@ -59,6 +59,8 @@ type state = {
   machine : Gpusim.Machine.t;
   mode : mode;
   num_warps : int;
+  trace : Obs.Trace.t option;
+      (* sink the Pass_manager installs for the duration of the run *)
   prog : Program.t;
   total : Gpusim.Cost.t;
   chain_cost : (Program.id, Gpusim.Cost.t) Hashtbl.t;
@@ -84,7 +86,7 @@ end
 
 type t = (module PASS)
 
-let init machine ~mode ?(num_warps = 4) prog =
+let init machine ~mode ?(num_warps = 4) ?trace prog =
   (* Engine reruns must be idempotent: the passes mutate the program's
      layout fields in place, so start every run from the unassigned
      state rather than whatever a previous run (possibly in the other
@@ -98,6 +100,7 @@ let init machine ~mode ?(num_warps = 4) prog =
     machine;
     mode;
     num_warps;
+    trace;
     prog;
     total = Gpusim.Cost.zero ();
     chain_cost = Hashtbl.create 32;

@@ -81,6 +81,9 @@ type state = {
   machine : Gpusim.Machine.t;
   mode : mode;
   num_warps : int;
+  trace : Obs.Trace.t option;
+      (** when set, the {!Pass_manager} installs this sink (enabling
+          spans and metrics) for the duration of the run *)
   prog : Program.t;
   total : Gpusim.Cost.t;
   chain_cost : (Program.id, Gpusim.Cost.t) Hashtbl.t;
@@ -112,8 +115,10 @@ type t = (module PASS)
 
 (** [init machine ~mode prog] resets the program's layout assignment
     (making engine reruns idempotent) and returns a fresh state.
-    [num_warps] defaults to 4. *)
-val init : Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> Program.t -> state
+    [num_warps] defaults to 4.  [trace], if given, is installed as the
+    observability sink while the {!Pass_manager} runs this state. *)
+val init :
+  Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> ?trace:Obs.Trace.t -> Program.t -> state
 
 (** Package the accumulated statistics (restoring creation order of the
     conversion and unsupported lists). *)

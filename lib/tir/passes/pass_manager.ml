@@ -23,8 +23,9 @@ type config = {
 let config ?(disabled = []) ?dump_after ?(dump_filter = fun _ -> true) passes =
   { passes; disabled; dump_after; dump_filter }
 
-let run config (st : Pass.state) =
-  let t0 = Unix.gettimeofday () in
+let run_instrumented config (st : Pass.state) =
+  let t0 = Obs.Clock.now () in
+  let pipeline = Obs.Span.enter "pipeline" in
   let reports =
     List.filter_map
       (fun ((module P : Pass.PASS) as _p) ->
@@ -34,9 +35,10 @@ let run config (st : Pass.state) =
           let plan_hits0 = Codegen.Plan_cache.hits ()
           and plan_misses0 = Codegen.Plan_cache.misses () in
           let memo_hits0 = Layout.Memo.hits () and memo_misses0 = Layout.Memo.misses () in
-          let p0 = Unix.gettimeofday () in
+          let span = Obs.Span.enter ("pass/" ^ P.name) in
+          let p0 = Obs.Clock.now () in
           P.run st;
-          let wall_ms = 1000. *. (Unix.gettimeofday () -. p0) in
+          let wall_ms = 1000. *. (Obs.Clock.now () -. p0) in
           (* Attribute the diagnostics this pass appended to it. *)
           st.Pass.diags <-
             List.mapi
@@ -45,7 +47,7 @@ let run config (st : Pass.state) =
           Option.iter
             (fun hook -> if config.dump_filter P.name then hook P.name st)
             config.dump_after;
-          Some
+          let r =
             {
               pass = P.name;
               wall_ms;
@@ -55,10 +57,31 @@ let run config (st : Pass.state) =
               memo_hits = Layout.Memo.hits () - memo_hits0;
               memo_misses = Layout.Memo.misses () - memo_misses0;
             }
+          in
+          Obs.Span.exit span
+            ~attrs:
+              [
+                ("diagnostics", string_of_int r.diagnostics);
+                ("plan_cache.hits", string_of_int r.plan_cache_hits);
+                ("plan_cache.misses", string_of_int r.plan_cache_misses);
+                ("memo.hits", string_of_int r.memo_hits);
+                ("memo.misses", string_of_int r.memo_misses);
+              ];
+          Some r
         end)
       config.passes
   in
-  { pass_reports = reports; total_ms = 1000. *. (Unix.gettimeofday () -. t0) }
+  Obs.Span.exit pipeline
+    ~attrs:[ ("passes", string_of_int (List.length reports)) ];
+  { pass_reports = reports; total_ms = 1000. *. (Obs.Clock.now () -. t0) }
+
+let run config (st : Pass.state) =
+  match st.Pass.trace with
+  | None -> run_instrumented config st
+  | Some sink ->
+      (* The caller asked for a trace of this run specifically: install
+         its sink (enabling instrumentation) for the duration. *)
+      Obs.Trace.with_sink sink (fun () -> run_instrumented config st)
 
 (* {1 Reporting} *)
 

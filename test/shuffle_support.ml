@@ -1,0 +1,26 @@
+(* Deterministic test-order shuffling for the order-independence CI
+   job.  With TEST_SHUFFLE_SEED unset the suites run in registration
+   order; with it set, suites and the cases inside each suite are
+   permuted by a seeded Fisher-Yates, so any inter-test state leak
+   shows up as a seed-dependent failure that the seed reproduces. *)
+
+let shuffle_list st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let maybe_shuffle suites =
+  match Sys.getenv_opt "TEST_SHUFFLE_SEED" with
+  | None -> suites
+  | Some s ->
+      let seed =
+        try int_of_string (String.trim s)
+        with _ -> failwith (Printf.sprintf "TEST_SHUFFLE_SEED=%S is not an integer" s)
+      in
+      let st = Random.State.make [| seed |] in
+      shuffle_list st (List.map (fun (name, cases) -> (name, shuffle_list st cases)) suites)

@@ -438,6 +438,7 @@ let prop_swizzle_never_worse_than_row_major =
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "codegen"
+    (Shuffle_support.maybe_shuffle
     [
       ( "simd",
         [
@@ -484,4 +485,4 @@ let () =
             prop_swizzle_never_worse_than_row_major;
             prop_swizzle_optimality_sampled;
           ] );
-    ]
+    ])

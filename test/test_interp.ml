@@ -96,6 +96,74 @@ let test_kernels_agree_on_amd () =
       agree ~machine:Gpusim.Machine.mi250 name (k.Kernels.build ~size:(List.hd k.Kernels.sizes)))
     [ "gemm"; "softmax"; "welford"; "embedding" ]
 
+(* {1 Randomized differential fuzzing}
+
+   Random programs mixing elementwise chains, the reduce/broadcast
+   motif, gathers and tensor-core dots; each is checked for exact
+   agreement between the reference and the layout evaluator.  The seed
+   is printed on every run and can be re-injected with
+   [INTERP_FUZZ_SEED=N] to replay a failure. *)
+
+let fuzz_seed =
+  match Sys.getenv_opt "INTERP_FUZZ_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "INTERP_FUZZ_SEED=%S is not an integer" s))
+  | None ->
+      Random.self_init ();
+      Random.bits ()
+
+let fuzz_program st =
+  let p = Program.create () in
+  let shape = [| 32; 32 |] in
+  let counter = ref 0 in
+  let fresh pfx =
+    incr counter;
+    Printf.sprintf "%s%d" pfx !counter
+  in
+  let load ~dtype pfx = Program.load p ~name:(fresh pfx) ~shape ~dtype () in
+  let pool = ref [ load ~dtype:Tensor_lib.Dtype.F32 "x"; load ~dtype:Tensor_lib.Dtype.F32 "x" ] in
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let push id = pool := id :: !pool in
+  let unary = [| "exp"; "log"; "relu" |] in
+  let binary = [| "add"; "sub"; "mul"; "div" |] in
+  let steps = 4 + Random.State.int st 5 in
+  for _ = 1 to steps do
+    match Random.State.int st 5 with
+    | 0 -> push (Program.elementwise p ~name:unary.(Random.State.int st 3) [ pick () ])
+    | 1 ->
+        push (Program.elementwise p ~name:binary.(Random.State.int st 4) [ pick (); pick () ])
+    | 2 ->
+        (* reduce -> expand -> broadcast -> combine: the softmax motif. *)
+        let axis = Random.State.int st 2 in
+        let r = Program.reduce p (pick ()) ~axis in
+        let b = Program.broadcast p (Program.expand_dims p r ~axis) ~shape in
+        push (Program.elementwise p ~name:"div" [ pick (); b ])
+    | 3 ->
+        (* synth_inputs caps integer loads at 15, in bounds on both axes. *)
+        let idx = load ~dtype:Tensor_lib.Dtype.I32 "idx" in
+        push (Program.gather p ~src:(pick ()) ~index:idx ~axis:(Random.State.int st 2))
+    | _ ->
+        let a = load ~dtype:Tensor_lib.Dtype.F16 "a" in
+        let b = load ~dtype:Tensor_lib.Dtype.F16 "b" in
+        push (Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32)
+  done;
+  ignore (Program.store p (pick ()));
+  p
+
+let test_fuzz_differential () =
+  Printf.printf "interp fuzz seed: %d (replay with INTERP_FUZZ_SEED=%d)\n%!" fuzz_seed
+    fuzz_seed;
+  let st = Random.State.make [| fuzz_seed |] in
+  for i = 1 to 12 do
+    let p = fuzz_program st in
+    try agree (Printf.sprintf "fuzz#%d" i) p
+    with e ->
+      Alcotest.failf "fuzz program %d failed (replay with INTERP_FUZZ_SEED=%d): %s" i
+        fuzz_seed (Printexc.to_string e)
+  done
+
 let test_missing_input_fails () =
   let p = Program.create () in
   let x = Program.load p ~name:"x" ~shape:[| 4; 4 |] ~dtype:Tensor_lib.Dtype.F32 () in
@@ -112,21 +180,24 @@ let test_outputs_count () =
 
 let () =
   Alcotest.run "interp"
-    [
-      ( "units",
-        [
-          Alcotest.test_case "softmax-like pipeline" `Quick test_simple_pipeline;
-          Alcotest.test_case "dot via tensor cores" `Quick test_dot_through_tensor_cores;
-          Alcotest.test_case "small dot fallback" `Quick test_small_dot_fallback;
-          Alcotest.test_case "gather" `Quick test_gather_through_layouts;
-          Alcotest.test_case "shape ops + reverse scan" `Quick test_scan_and_shapes;
-          Alcotest.test_case "missing input fails" `Quick test_missing_input_fails;
-          Alcotest.test_case "outputs count" `Quick test_outputs_count;
-        ] );
-      ( "kernel suite",
-        [
-          Alcotest.test_case "all kernels agree (GH200)" `Quick test_all_kernels_agree;
-          Alcotest.test_case "kernels agree on MI250" `Quick test_kernels_agree_on_amd;
-          Alcotest.test_case "kernels agree on PVC (Intel)" `Quick test_kernels_agree_on_intel;
-        ] );
-    ]
+    (Shuffle_support.maybe_shuffle
+       [
+         ( "units",
+           [
+             Alcotest.test_case "softmax-like pipeline" `Quick test_simple_pipeline;
+             Alcotest.test_case "dot via tensor cores" `Quick test_dot_through_tensor_cores;
+             Alcotest.test_case "small dot fallback" `Quick test_small_dot_fallback;
+             Alcotest.test_case "gather" `Quick test_gather_through_layouts;
+             Alcotest.test_case "shape ops + reverse scan" `Quick test_scan_and_shapes;
+             Alcotest.test_case "missing input fails" `Quick test_missing_input_fails;
+             Alcotest.test_case "outputs count" `Quick test_outputs_count;
+           ] );
+         ( "fuzz",
+           [ Alcotest.test_case "randomized differential programs" `Quick test_fuzz_differential ] );
+         ( "kernel suite",
+           [
+             Alcotest.test_case "all kernels agree (GH200)" `Quick test_all_kernels_agree;
+             Alcotest.test_case "kernels agree on MI250" `Quick test_kernels_agree_on_amd;
+             Alcotest.test_case "kernels agree on PVC (Intel)" `Quick test_kernels_agree_on_intel;
+           ] );
+       ])

@@ -197,6 +197,7 @@ let test_kernel_stats_nontrivial () =
 
 let () =
   Alcotest.run "tir"
+    (Shuffle_support.maybe_shuffle
     [
       ( "program",
         [ Alcotest.test_case "builders infer shapes" `Quick test_program_builders ] );
@@ -220,4 +221,4 @@ let () =
           Alcotest.test_case "linear never slower" `Quick test_linear_never_slower_overall;
           Alcotest.test_case "stats are nontrivial" `Quick test_kernel_stats_nontrivial;
         ] );
-    ]
+    ])
