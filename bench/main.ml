@@ -113,6 +113,15 @@ let bench_tests () =
              Tir.Pass_manager.run (Tir.Pass_manager.config Tir.Passes.default) st
            in
            ignore (Tir.Pass.result st)));
+    (* Translation-validation overhead: the same warm engine run under
+       full certification (per-pass snapshot/diff + symbolic plan
+       certificates), paired against engine-gemm-linear-warm to pin the
+       certifier's cost relative to the uncertified engine. *)
+    Test.make ~name:"transval/certify-gemm-warm"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Certify.run machine ~mode:Tir.Engine.Linear
+                (gemm.Tir.Kernels.build ~size:512))));
     (* Observability overhead: the same warm engine run with
        instrumentation disabled (the default — every obs site must cost
        one load and a branch) and with a live trace sink.  The disabled

@@ -230,8 +230,8 @@ let with_metrics metrics f =
 
 (* {1 engine} *)
 
-let engine machine kernel_name all autotune passes_csv disabled dump_after timings json
-    metrics =
+let engine machine kernel_name all autotune passes_csv disabled dump_after lint_after
+    timings json metrics =
   with_metrics metrics @@ fun () ->
   let pass_list =
     match passes_csv with
@@ -256,6 +256,17 @@ let engine machine kernel_name all autotune passes_csv disabled dump_after timin
           Format.printf "=== after %s ===@.%a@." name Tir.Pass_manager.pp_state st)
   in
   let dump_filter name = List.mem "all" dump_after || List.mem name dump_after in
+  (* Per-pass analysis: run the lint sweep over the mid-pipeline state
+     after each selected pass (satisfying satellite analyses that used
+     to be final-program-only). *)
+  let lint_hook =
+    if lint_after = [] then None
+    else
+      Some
+        (fun name st ->
+          if List.mem "all" lint_after || List.mem name lint_after then
+            Tir.Validate.lint_hook name st)
+  in
   let reports = ref [] (* newest first *) in
   let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
   List.iter
@@ -277,10 +288,13 @@ let engine machine kernel_name all autotune passes_csv disabled dump_after timin
         let prog = k.Tir.Kernels.build ~size in
         let st = Tir.Pass.init machine ~mode prog in
         let config =
-          Tir.Pass_manager.config ~disabled ?dump_after:dump_hook ~dump_filter pass_list
+          Tir.Pass_manager.config ~disabled ?dump_after:dump_hook ~dump_filter
+            ?after_pass:lint_hook pass_list
         in
         let report = Tir.Pass_manager.run config st in
         let r = Tir.Pass.result st in
+        if lint_after <> [] && st.Tir.Pass.diags <> [] then
+          Format.printf "%a@." Diagnostics.pp_list st.Tir.Pass.diags;
         (if (not custom) && mode = Tir.Engine.Linear then
            match Diagnostics.errors (Tir.Validate.program prog) with
            | [] -> ()
@@ -347,6 +361,14 @@ let dump_after_arg =
           "Print the layout assignment and running totals after the named pass \
            (repeatable; $(b,all) dumps after every pass).")
 
+let lint_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "lint-after" ] ~docv:"PASS"
+        ~doc:
+          "Run the LL2xx-LL5xx lint sweep over the mid-pipeline state after the named \
+           pass (repeatable; $(b,all) lints after every pass).")
+
 let timings_arg =
   Arg.(
     value & flag
@@ -372,8 +394,8 @@ let engine_cmd =
           optional per-pass timings, dump-after-pass and pass selection.")
     Term.(
       const engine $ machine_arg $ kernel_arg $ engine_all_arg $ autotune_arg
-      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ timings_arg $ engine_json_arg
-      $ metrics_arg)
+      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ lint_after_arg $ timings_arg
+      $ engine_json_arg $ metrics_arg)
 
 (* {1 trace} *)
 
@@ -519,6 +541,95 @@ let lint_cmd =
       $ kind_arg "src" "blocked" $ kind_arg "dst" "mma" $ spt_arg $ tpw_arg $ warps_arg
       $ order_arg $ bitwidth_arg $ byte_width_arg $ json_arg $ metrics_arg)
 
+(* {1 certify} *)
+
+let certify machine kernel_name all pass_filter json metrics =
+  let failed =
+    with_metrics metrics @@ fun () ->
+    let machines = if all then Gpusim.Machine.all_with_extras else [ machine ] in
+    let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+    let rows = ref [] (* newest first *) in
+    let failed = ref false in
+    let checked = ref 0 and proved = ref 0 and refuted = ref 0 in
+    List.iter
+      (fun (m : Gpusim.Machine.t) ->
+        List.iter
+          (fun (k : Tir.Kernels.kernel) ->
+            List.iter
+              (fun (mode, mode_name) ->
+                let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+                let r = Tir.Certify.run m ~mode prog in
+                (* --pass restricts the verdict to one pass's certificates
+                   (plan certificates belong to no pass and are dropped). *)
+                let r =
+                  match pass_filter with
+                  | None -> r
+                  | Some p ->
+                      {
+                        r with
+                        Tir.Certify.pass_certs =
+                          List.filter
+                            (fun (c : Tir.Certify.pass_cert) -> c.Tir.Certify.pass = p)
+                            r.Tir.Certify.pass_certs;
+                        plan_certs = [];
+                        diags =
+                          List.filter
+                            (fun (d : Diagnostics.t) -> d.Diagnostics.pass = Some p)
+                            r.Tir.Certify.diags;
+                      }
+                in
+                let errs = Tir.Certify.cert_errors r in
+                incr checked;
+                (match Tir.Certify.status r with
+                | "proved" -> incr proved
+                | "refuted" -> incr refuted
+                | _ -> ());
+                Printf.printf "%-22s %-8s %-7s %-8s %d pass cert(s), %d plan cert(s)\n"
+                  k.Tir.Kernels.name m.Gpusim.Machine.name mode_name
+                  (Tir.Certify.status r)
+                  (List.length r.Tir.Certify.pass_certs)
+                  (List.length r.Tir.Certify.plan_certs);
+                if errs <> [] then begin
+                  failed := true;
+                  Format.printf "%a@." Diagnostics.pp_list errs
+                end;
+                rows := Tir.Certify.to_json ~kernel:k.Tir.Kernels.name ~machine:m.name r :: !rows)
+              [ (Tir.Engine.Linear, "linear"); (Tir.Engine.Legacy_mode, "legacy") ])
+          kernels)
+      machines;
+    (match json with
+    | None -> ()
+    | Some path ->
+        write_file path (Printf.sprintf "[%s]" (String.concat "," (List.rev !rows))));
+    Printf.printf "%d run(s) certified: %d proved, %d refuted, %d skipped\n" !checked !proved
+      !refuted
+      (!checked - !proved - !refuted);
+    !failed
+  in
+  if failed then exit 1
+
+let pass_filter_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pass" ] ~docv:"PASS"
+        ~doc:
+          "Restrict the verdict to the named pass's certificates (see \
+           $(b,layout_tool passes) for names).")
+
+let certify_cmd =
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Translation validation: prove every engine pass semantics-preserving \
+          (snapshot/diff over F2, codes LL620-LL623) and every materialized conversion \
+          plan correct against its claimed conversion map (symbolic execution of the \
+          lowered ISA, codes LL650-LL652), for a kernel or $(b,--all) kernels on all \
+          machines; exits 1 on any refutation.")
+    Term.(
+      const certify $ machine_arg $ kernel_arg $ all_arg $ pass_filter_arg $ json_arg
+      $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "layout_tool" ~doc:"Explore linear layouts over F2 (ASPLOS'26 reproduction)."
@@ -535,4 +646,5 @@ let () =
             trace_cmd;
             passes_cmd;
             lint_cmd;
+            certify_cmd;
           ]))

@@ -1,0 +1,426 @@
+open Linear_layout
+
+(* Translation validation of lowered plans (the paper's Section 4 claim
+   made operational): every layout is a linear map over F2, so the map a
+   lowered ISA program *actually implements* can be recovered by
+   symbolic execution and compared against the map the plan *claims* by
+   Gaussian elimination.  Equality of affine F2 maps is decidable, and a
+   disagreement always has a counterexample of Hamming weight <= 1 (the
+   zero vector if the constants differ, a basis vector otherwise). *)
+
+module Affine = struct
+  type t = { in_bits : int; out_bits : int; cols : int array; const : int }
+
+  let apply t h =
+    let acc = ref t.const in
+    for k = 0 to t.in_bits - 1 do
+      if h land (1 lsl k) <> 0 then acc := !acc lxor t.cols.(k)
+    done;
+    !acc
+
+  let of_layout l =
+    let f = Layout.Memo.flatten_outs l in
+    {
+      in_bits = Layout.total_in_bits f;
+      out_bits = Layout.total_out_bits f;
+      cols = Array.init (Layout.total_in_bits f) (fun k -> Layout.apply_flat f (1 lsl k));
+      const = 0;
+    }
+
+  let of_fun ~in_bits ~out_bits f =
+    let const = f 0 in
+    let t =
+      { in_bits; out_bits; cols = Array.init in_bits (fun k -> f (1 lsl k) lxor const); const }
+    in
+    let rec go h =
+      if h >= 1 lsl in_bits then Ok t
+      else if f h <> apply t h then Error h
+      else go (h + 1)
+    in
+    go 0
+
+  let matrix t = F2.Bitmatrix.make ~rows:(max 1 t.out_bits) t.cols
+  let rank t = F2.Bitmatrix.echelon_rank (F2.Bitmatrix.echelonize (matrix t))
+
+  let equal a b =
+    a.in_bits = b.in_bits && a.out_bits = b.out_bits && a.const = b.const
+    && F2.Bitmatrix.equal (matrix a) (matrix b)
+
+  (* Minimal-weight input where the two maps disagree; [None] when they
+     agree everywhere.  Weight <= 1 by linearity. *)
+  let counterexample a b =
+    if a.in_bits <> b.in_bits || a.out_bits <> b.out_bits then Some 0
+    else if a.const <> b.const then Some 0
+    else
+      let rec go k =
+        if k >= a.in_bits then None
+        else if a.cols.(k) <> b.cols.(k) then Some (1 lsl k)
+        else go (k + 1)
+      in
+      go 0
+end
+
+(* {1 Symbolic provenance evaluator}
+
+   Every register slot and shared-memory cell holds either the flattened
+   source hardware index whose value it contains, or [bot] (undefined /
+   opaque).  Running the pseudo-ISA over this domain mirrors
+   {!Gpusim.Isa.run} instruction by instruction; [Bin] results are
+   opaque (conversions never compute).  The domain is exact for
+   data-movement programs: with the injective test payload
+   [value(hw) = hw], the concrete interpreter and the provenance
+   evaluator compute the same function, so a plan is correct iff every
+   destination point's provenance maps to the required logical
+   element. *)
+
+let bot = -1
+
+type sym_state = { regs : int array array array; smem : int array }
+
+let sym_state (p : Gpusim.Isa.program) ~slots =
+  {
+    regs =
+      Array.init p.Gpusim.Isa.warps (fun _ ->
+          Array.init p.Gpusim.Isa.lanes (fun _ -> Array.make slots bot));
+    smem = Array.make p.Gpusim.Isa.smem_elems bot;
+  }
+
+let sym_run (p : Gpusim.Isa.program) st =
+  let check_lane_table name a =
+    if
+      Array.length a <> p.Gpusim.Isa.warps
+      || Array.exists (fun row -> Array.length row <> p.Gpusim.Isa.lanes) a
+    then failwith (name ^ ": per-warp/lane table has wrong shape")
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Gpusim.Isa.Mov { dst; src } ->
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              st.regs.(w).(l).(dst) <- st.regs.(w).(l).(src)
+            done
+          done
+      | Gpusim.Isa.Sel { dst; src_slot } ->
+          check_lane_table "sel" src_slot;
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              let s = src_slot.(w).(l) in
+              if s >= 0 then st.regs.(w).(l).(dst) <- st.regs.(w).(l).(s)
+            done
+          done
+      | Gpusim.Isa.Scatter { src; dst_slot } ->
+          check_lane_table "scatter" dst_slot;
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              let s = dst_slot.(w).(l) in
+              if s >= 0 then st.regs.(w).(l).(s) <- st.regs.(w).(l).(src)
+            done
+          done
+      | Gpusim.Isa.Shfl_idx { dst; src; src_lane; keep } ->
+          check_lane_table "shfl" src_lane;
+          check_lane_table "shfl" keep;
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            let published =
+              Array.init p.Gpusim.Isa.lanes (fun l -> st.regs.(w).(l).(src))
+            in
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              let s = src_lane.(w).(l) in
+              if s < 0 || s >= p.Gpusim.Isa.lanes then
+                failwith "shfl: source lane out of range";
+              if keep.(w).(l) then st.regs.(w).(l).(dst) <- published.(s)
+            done
+          done
+      | Gpusim.Isa.St_shared { slots; addr; byte_width = _ } ->
+          check_lane_table "st.shared" addr;
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              List.iteri
+                (fun i slot ->
+                  let a = addr.(w).(l) + i in
+                  if a < 0 || a >= p.Gpusim.Isa.smem_elems then
+                    failwith "st.shared: address out of range";
+                  st.smem.(a) <- st.regs.(w).(l).(slot))
+                slots
+            done
+          done
+      | Gpusim.Isa.Ld_shared { slots; addr; byte_width = _ } ->
+          check_lane_table "ld.shared" addr;
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              List.iteri
+                (fun i slot ->
+                  let a = addr.(w).(l) + i in
+                  if a < 0 || a >= p.Gpusim.Isa.smem_elems then
+                    failwith "ld.shared: address out of range";
+                  st.regs.(w).(l).(slot) <- st.smem.(a))
+                slots
+            done
+          done
+      | Gpusim.Isa.Bin { op = _; dst; a = _; b = _ } ->
+          (* Arithmetic destroys provenance: a conversion plan must never
+             route payload data through it. *)
+          for w = 0 to p.Gpusim.Isa.warps - 1 do
+            for l = 0 to p.Gpusim.Isa.lanes - 1 do
+              st.regs.(w).(l).(dst) <- bot
+            done
+          done
+      | Gpusim.Isa.Bar_sync -> ())
+    p.Gpusim.Isa.body
+
+(* {1 Certificates} *)
+
+type refutation = { counterexample : int; got : int option; want : int }
+type verdict = Proved | Refuted of refutation | Failed of string
+type method_ = Symbolic | Algebraic
+
+type cert = {
+  mechanism : string;
+  method_ : method_;
+  points : int;  (** destination hardware points covered by the proof *)
+  verdict : verdict;
+}
+
+let method_name = function Symbolic -> "symbolic" | Algebraic -> "algebraic"
+
+(* Load the canonical conversion pre-state: slot [r] of lane [l] in warp
+   [w] holds the source hardware point [r | l<<rb | w<<(rb+lb)] — the
+   same convention as {!Codegen.Lower.load_state}. *)
+let init_conversion st ~(map : Codegen.Lower.slot_map) ~lanes ~warps =
+  for w = 0 to warps - 1 do
+    for l = 0 to lanes - 1 do
+      for r = 0 to map.Codegen.Lower.src_regs - 1 do
+        st.regs.(w).(l).(r) <-
+          r lor (l * map.Codegen.Lower.src_regs) lor (w * map.Codegen.Lower.src_regs * lanes)
+      done
+    done
+  done
+
+(* The shared core: symbolically execute [program], then require, for
+   every destination hardware point [h] (decoded with
+   {!Codegen.Lower.store_dist}'s convention), that the provenance [p] of
+   its register slot satisfies [src_flat p = want h].  [want] is the
+   logical element [h] must hold; broadcasting sources are handled for
+   free because any source point of the same element is acceptable. *)
+let check_program ~src ~(map : Codegen.Lower.slot_map) ~want ~mechanism
+    (program : Gpusim.Isa.program) =
+  let lanes = program.Gpusim.Isa.lanes and warps = program.Gpusim.Isa.warps in
+  let dst_regs = map.Codegen.Lower.dst_regs in
+  let points = dst_regs * lanes * warps in
+  match
+    let st = sym_state program ~slots:map.Codegen.Lower.total_slots in
+    init_conversion st ~map ~lanes ~warps;
+    sym_run program st;
+    st
+  with
+  | exception Failure msg -> { mechanism; method_ = Symbolic; points; verdict = Failed msg }
+  | st -> (
+      let src_flat = Layout.Memo.flatten_outs src in
+      let prov h =
+        let r = h mod dst_regs in
+        let l = h / dst_regs mod lanes in
+        let w = h / (dst_regs * lanes) in
+        st.regs.(w).(l).(map.Codegen.Lower.dst_base + r)
+      in
+      (* First undefined destination point, if any. *)
+      let rec undef h =
+        if h >= points then None else if prov h < 0 then Some h else undef (h + 1)
+      in
+      match undef 0 with
+      | Some h ->
+          {
+            mechanism;
+            method_ = Symbolic;
+            points;
+            verdict = Refuted { counterexample = h; got = None; want = want h };
+          }
+      | None -> (
+          let got h = Layout.apply_flat src_flat (prov h) in
+          let in_bits = Util.log2 points in
+          let out_bits = Layout.total_out_bits src_flat in
+          (* Fit the realized map as a canonical affine map and compare;
+             a weight-<=1 counterexample falls out when it is affine,
+             otherwise the first disagreeing point is reported. *)
+          let scan () =
+            let rec go h =
+              if h >= points then { mechanism; method_ = Symbolic; points; verdict = Proved }
+              else if got h <> want h then
+                {
+                  mechanism;
+                  method_ = Symbolic;
+                  points;
+                  verdict = Refuted { counterexample = h; got = Some (got h); want = want h };
+                }
+              else go (h + 1)
+            in
+            go 0
+          in
+          match
+            ( Affine.of_fun ~in_bits ~out_bits got,
+              Affine.of_fun ~in_bits ~out_bits want )
+          with
+          | Ok g, Ok w -> (
+              match Affine.counterexample g w with
+              | None -> { mechanism; method_ = Symbolic; points; verdict = Proved }
+              | Some h ->
+                  {
+                    mechanism;
+                    method_ = Symbolic;
+                    points;
+                    verdict =
+                      Refuted { counterexample = h; got = Some (got h); want = want h };
+                  })
+          | _ -> scan ()))
+
+let certify_isa ~src ~dst ~map program =
+  let dst_flat = Layout.Memo.flatten_outs dst in
+  check_program ~src ~map
+    ~want:(fun h -> Layout.apply_flat dst_flat h)
+    ~mechanism:"isa" program
+
+(* Cross-CTA conversions spill through global memory and are executed
+   algebraically ({!Codegen.Conversion.execute_algebraic}): destination
+   point [h] reads source point [pseudo_invert(src_flat)(dst_flat h)].
+   That is correct by construction whenever the two layouts cover the
+   same logical space and the source is surjective onto it — both
+   decidable by elimination on the F2 matrices. *)
+let certify_algebraic ~src ~dst ~mechanism =
+  let a = Layout.Memo.flatten_outs src and b = Layout.Memo.flatten_outs dst in
+  let points = 1 lsl Layout.total_in_bits dst in
+  if Layout.out_dims a <> Layout.out_dims b then
+    {
+      mechanism;
+      method_ = Algebraic;
+      points;
+      verdict =
+        Failed
+          (Printf.sprintf "layouts cover different logical spaces (%s vs %s)"
+             (String.concat "x" (List.map (fun (d, n) -> Printf.sprintf "%s:%d" d n) (Layout.out_dims a)))
+             (String.concat "x" (List.map (fun (d, n) -> Printf.sprintf "%s:%d" d n) (Layout.out_dims b))));
+    }
+  else
+    let ech = F2.Bitmatrix.echelonize (Layout.Memo.to_matrix a) in
+    let rec go h =
+      if h >= points then { mechanism; method_ = Algebraic; points; verdict = Proved }
+      else
+        let want = Layout.apply_flat b h in
+        match F2.Bitmatrix.solve_with ech want with
+        | Some _ -> go (h + 1)
+        | None ->
+            {
+              mechanism;
+              method_ = Algebraic;
+              points;
+              verdict = Refuted { counterexample = h; got = None; want };
+            }
+    in
+    go 0
+
+let certify_plan machine (plan : Codegen.Conversion.plan) =
+  let mechanism = Codegen.Conversion.mechanism_name plan.Codegen.Conversion.mechanism in
+  let src = plan.Codegen.Conversion.src and dst = plan.Codegen.Conversion.dst in
+  let cta_mismatch =
+    Layout.in_size src Dims.lane <> Layout.in_size dst Dims.lane
+    || Layout.in_size src Dims.warp <> Layout.in_size dst Dims.warp
+  in
+  let cert =
+    match plan.Codegen.Conversion.mechanism with
+    | Codegen.Conversion.Global_roundtrip ->
+        certify_algebraic ~src:plan.Codegen.Conversion.src ~dst:plan.Codegen.Conversion.dst
+          ~mechanism
+    | _ when cta_mismatch ->
+        (* {!Codegen.Lower.conversion} has no warp-level lowering when
+           the CTA shapes differ (e.g. a post-reduction layout with
+           fewer live lane bits): the engine executes those plans
+           algebraically, so that is the artifact to certify. *)
+        certify_algebraic ~src:plan.Codegen.Conversion.src ~dst:plan.Codegen.Conversion.dst
+          ~mechanism
+    | _ -> (
+        match Codegen.Lower.conversion machine plan with
+        | exception Failure msg ->
+            {
+              mechanism;
+              method_ = Symbolic;
+              points = 1 lsl Layout.total_in_bits plan.Codegen.Conversion.dst;
+              verdict = Failed ("lowering failed: " ^ msg);
+            }
+        | program, map ->
+            {
+              (certify_isa ~src:plan.Codegen.Conversion.src ~dst:plan.Codegen.Conversion.dst
+                 ~map program)
+              with
+              mechanism;
+            })
+  in
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "transval.certificates.checked";
+    Obs.Metrics.incr
+      (match cert.verdict with
+      | Proved -> "transval.certificates.proved"
+      | Refuted _ | Failed _ -> "transval.certificates.refuted")
+  end;
+  cert
+
+(* Gather plans are index-dependent: destination point [h] must hold the
+   source element at [h]'s logical coordinates with the gathered axis
+   replaced by the index tensor's value there.  The spec is not affine
+   in general (it depends on the index data), so the checker falls back
+   to the exhaustive scan. *)
+let certify_gather machine ~src ~index ~axis =
+  match Codegen.Lower.gather machine ~src ~index ~axis with
+  | Error msg -> { mechanism = "gather"; method_ = Symbolic; points = 0; verdict = Failed msg }
+  | exception Failure msg ->
+      { mechanism = "gather"; method_ = Symbolic; points = 0; verdict = Failed msg }
+  | Ok (program, map) ->
+      let l = src.Gpusim.Dist.layout in
+      let flat = Layout.Memo.flatten_outs l in
+      let out_dims = Layout.out_dims l in
+      let axis_size = Layout.out_size l (Dims.dim axis) in
+      let t_idx =
+        match Gpusim.Dist.to_logical index with
+        | Ok t -> t
+        | Error e -> failwith ("Transval.certify_gather: " ^ e)
+      in
+      let want h =
+        let logical = Layout.apply_flat flat h in
+        let coords = Layout.unflatten_value out_dims logical in
+        let idx = t_idx.(logical) land (axis_size - 1) in
+        let coords' =
+          List.map (fun (d, c) -> (d, if d = Dims.dim axis then idx else c)) coords
+        in
+        Layout.flatten_value out_dims coords'
+      in
+      { (check_program ~src:l ~map ~want ~mechanism:"gather" program) with mechanism = "gather" }
+
+(* {1 Diagnostics} *)
+
+let pp_point ~bits ppf h = F2.Bitvec.pp ~width:(max 1 bits) ppf h
+
+let diagnostics ?(loc = Diagnostics.No_loc) cert =
+  let bits = Util.log2 (max 1 cert.points) in
+  match cert.verdict with
+  | Proved -> []
+  | Refuted { counterexample; got = Some got; want } ->
+      [
+        Diagnostics.error ~code:"LL650" ~loc
+          "plan certificate refuted (%s, %s): destination hw point %a holds logical element \
+           %d, the conversion map requires %d"
+          cert.mechanism (method_name cert.method_) (pp_point ~bits) counterexample got want;
+      ]
+  | Refuted { counterexample; got = None; want } ->
+      [
+        Diagnostics.error ~code:"LL651" ~loc
+          "plan certificate refuted (%s, %s): destination hw point %a is never written \
+           (required logical element %d)"
+          cert.mechanism (method_name cert.method_) (pp_point ~bits) counterexample want;
+      ]
+  | Failed msg ->
+      [
+        Diagnostics.error ~code:"LL652" ~loc "plan could not be certified (%s): %s"
+          cert.mechanism msg;
+      ]
+
+let verdict_name = function
+  | Proved -> "proved"
+  | Refuted _ -> "refuted"
+  | Failed _ -> "failed"

@@ -1,0 +1,102 @@
+(** Translation validation of lowered plans over F2 (Necula-style
+    per-translation proofs; cf. Alive2's per-pass verification).
+
+    A conversion plan claims to re-distribute a tensor from a source
+    layout to a destination layout, i.e. to implement the conversion map
+    [pseudo_invert(flatten dst) . flatten src].  This module recovers
+    the map a lowered {!Gpusim.Isa} program {e actually} implements by
+    symbolic execution over a provenance domain — every register slot
+    and shared-memory cell holds the flattened source hardware point
+    whose value it contains, or bottom — and compares it against the
+    claim by Gaussian elimination over F2.  The comparison is decidable
+    and a disagreement always yields a counterexample bit-vector of
+    Hamming weight at most 1 when the realized map is affine.
+
+    Soundness: with the injective payload [value(hw) = hw] the concrete
+    interpreter computes exactly the provenance function, so a [Proved]
+    certificate implies the lowered program moves every logical element
+    to every destination point that claims it, for {e all} payloads
+    (the ISA is data-oblivious: no instruction's control depends on
+    payload values).  Completeness on the same domain: any refutation
+    replays as a concrete miscompare under the differential
+    interpreter. *)
+
+open Linear_layout
+
+(** Affine maps [h -> c + M h] over flattened F2 bit-vectors. *)
+module Affine : sig
+  type t = { in_bits : int; out_bits : int; cols : int array; const : int }
+
+  val apply : t -> int -> int
+
+  (** The flattened (hardware -> logical) map of a layout; linear, so
+      [const = 0]. *)
+  val of_layout : Layout.t -> t
+
+  (** Fit an affine map to [f] on the basis and verify the fit
+      exhaustively; [Error h] is the first input where [f] is not
+      affine. *)
+  val of_fun : in_bits:int -> out_bits:int -> (int -> int) -> (t, int) result
+
+  val matrix : t -> F2.Bitmatrix.t
+  val rank : t -> int
+  val equal : t -> t -> bool
+
+  (** Minimal-weight input where two maps disagree ([None] when equal);
+      by linearity the witness is [0] or a basis vector. *)
+  val counterexample : t -> t -> int option
+end
+
+type refutation = {
+  counterexample : int;  (** flattened destination hardware point *)
+  got : int option;  (** logical element actually held; [None] = never written *)
+  want : int;  (** logical element the conversion map requires *)
+}
+
+type verdict =
+  | Proved
+  | Refuted of refutation
+  | Failed of string  (** lowering or symbolic execution crashed *)
+
+type method_ =
+  | Symbolic  (** provenance execution of the lowered ISA program *)
+  | Algebraic  (** matrix-level proof (cross-CTA global round trips) *)
+
+type cert = {
+  mechanism : string;
+  method_ : method_;
+  points : int;  (** destination hardware points covered *)
+  verdict : verdict;
+}
+
+val method_name : method_ -> string
+val verdict_name : verdict -> string
+
+(** Certify an arbitrary lowered program against claimed source and
+    destination layouts: the pre-state follows
+    {!Codegen.Lower.load_state}'s slot convention, the post-state is
+    read back with {!Codegen.Lower.store_dist}'s. *)
+val certify_isa :
+  src:Layout.t -> dst:Layout.t -> map:Codegen.Lower.slot_map -> Gpusim.Isa.program -> cert
+
+(** Certify a conversion plan: lowers it with {!Codegen.Lower.conversion}
+    and runs the symbolic checker (register permutes, warp shuffles —
+    plain and broadcast-compressed — and swizzled shared-memory round
+    trips, including their vectorized ld/st addressing); cross-CTA
+    global round trips have no warp-level lowering and are proved
+    algebraically.  Increments the [transval.certificates.*] metrics
+    when observability is enabled. *)
+val certify_plan : Gpusim.Machine.t -> Codegen.Conversion.plan -> cert
+
+(** Certify a lowered warp-shuffle gather against the index-dependent
+    gather semantics (destination point [h] holds the source element at
+    [h]'s coordinates with the gathered axis replaced by the index
+    value). *)
+val certify_gather :
+  Gpusim.Machine.t -> src:Gpusim.Dist.t -> index:Gpusim.Dist.t -> axis:int -> cert
+
+(** Render a certificate as LL6xx diagnostics: [LL650] wrong element at
+    a destination point, [LL651] destination point never written,
+    [LL652] uncertifiable (lowering/execution failure); [Proved] yields
+    no diagnostics. *)
+val diagnostics : ?loc:Diagnostics.loc -> cert -> Diagnostics.t list

@@ -15,7 +15,9 @@
       (Lemma 9.4 vs. the brute-force bank simulator);
     - [LL4xx] global-memory coalescing / vectorization lints;
     - [LL5xx] broadcast-redundancy lints (duplicated compute);
-    - [LL6xx] TIR layout-assignment verification;
+    - [LL6xx] TIR layout-assignment verification and translation
+      validation ([LL62x] pass-level semantic certificates, [LL65x]
+      symbolic certification of lowered conversion plans);
     - [LL7xx] engine pass-pipeline consistency (skipped/misordered
       passes leaving the cost model incomplete). *)
 

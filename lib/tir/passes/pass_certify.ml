@@ -1,0 +1,72 @@
+open Linear_layout
+
+let name = "certify"
+
+let description =
+  "translation validation: prove every materialized conversion plan implements \
+   its claimed F2 map (linear mode)"
+
+(* Certify a list of materialized conversions: one {!Analysis.Transval}
+   certificate per plan, with refutations rendered as LL65x diagnostics
+   located at the conversion's instruction.  Legacy-mode conversions
+   carry no plan ([plan = None]) and are skipped — the padded
+   shared-memory baseline is costed, never lowered. *)
+let certify_conversions machine (convs : Pass.conversion_info list) =
+  let certs =
+    List.filter_map
+      (fun (c : Pass.conversion_info) ->
+        match c.Pass.plan with
+        | None -> None
+        | Some plan -> Some (c.Pass.at, Analysis.Transval.certify_plan machine plan))
+      convs
+  in
+  let diags =
+    List.concat_map
+      (fun (at, cert) ->
+        Analysis.Transval.diagnostics ~loc:(Diagnostics.Tir_instr at) cert)
+      certs
+  in
+  (certs, diags)
+
+(* Coverage: after [insert_conversions] every surviving request that
+   still changes the layout must have been materialized as a conversion
+   whose plan matches the request's snapshot layouts — a silently
+   dropped request would leave the consumer reading data in the wrong
+   distribution with no certificate ever looking at it. *)
+let coverage_diags (st : Pass.state) =
+  List.filter_map
+    (function
+      | Pass.Convert (r : Pass.request)
+        when not (Layout.equal r.Pass.src_layout r.Pass.dst) ->
+          let materialized =
+            List.exists
+              (fun (c : Pass.conversion_info) ->
+                c.Pass.at = r.Pass.at
+                &&
+                match c.Pass.plan with
+                | Some p ->
+                    Layout.equal p.Codegen.Conversion.src r.Pass.src_layout
+                    && Layout.equal p.Codegen.Conversion.dst r.Pass.dst
+                | None -> true)
+              st.Pass.convs
+          in
+          if materialized then None
+          else
+            Some
+              (Diagnostics.error ~code:"LL623" ~loc:(Diagnostics.Tir_instr r.Pass.at)
+                 "conversion request for %%%d was never materialized: the consumer reads \
+                  the value in an unconverted distribution"
+                 r.Pass.src)
+      | _ -> None)
+    st.Pass.pending
+
+let certs_of (st : Pass.state) =
+  let certs, diags = certify_conversions st.Pass.machine (List.rev st.Pass.convs) in
+  (certs, diags @ coverage_diags st)
+
+let run (st : Pass.state) =
+  match st.Pass.mode with
+  | Pass.Legacy_mode -> ()
+  | Pass.Linear ->
+      let _, diags = certs_of st in
+      st.Pass.diags <- st.Pass.diags @ diags

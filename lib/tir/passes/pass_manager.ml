@@ -18,10 +18,13 @@ type config = {
   disabled : string list;
   dump_after : hook option;
   dump_filter : string -> bool;
+  before_pass : hook option;
+  after_pass : hook option;
 }
 
-let config ?(disabled = []) ?dump_after ?(dump_filter = fun _ -> true) passes =
-  { passes; disabled; dump_after; dump_filter }
+let config ?(disabled = []) ?dump_after ?(dump_filter = fun _ -> true) ?before_pass
+    ?after_pass passes =
+  { passes; disabled; dump_after; dump_filter; before_pass; after_pass }
 
 let run_instrumented config (st : Pass.state) =
   let t0 = Obs.Clock.now () in
@@ -35,10 +38,15 @@ let run_instrumented config (st : Pass.state) =
           let plan_hits0 = Codegen.Plan_cache.hits ()
           and plan_misses0 = Codegen.Plan_cache.misses () in
           let memo_hits0 = Layout.Memo.hits () and memo_misses0 = Layout.Memo.misses () in
+          Option.iter (fun hook -> hook P.name st) config.before_pass;
           let span = Obs.Span.enter ("pass/" ^ P.name) in
           let p0 = Obs.Clock.now () in
           P.run st;
           let wall_ms = 1000. *. (Obs.Clock.now () -. p0) in
+          (* The after hook runs before diagnostic attribution so that
+             anything it appends (e.g. per-pass lints or translation
+             validation refutations) is tagged with this pass's name. *)
+          Option.iter (fun hook -> hook P.name st) config.after_pass;
           (* Attribute the diagnostics this pass appended to it. *)
           st.Pass.diags <-
             List.mapi

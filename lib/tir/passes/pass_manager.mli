@@ -26,12 +26,22 @@ type config = {
   disabled : string list;  (** pass names to skip *)
   dump_after : hook option;
   dump_filter : string -> bool;  (** which passes trigger the hook *)
+  before_pass : hook option;
+      (** called before every enabled pass runs (unfiltered) — e.g. the
+          {!Certify} observer snapshotting the pre-pass assignment *)
+  after_pass : hook option;
+      (** called after every enabled pass, {e before} diagnostic
+          attribution, so appended diagnostics are tagged with the pass;
+          used for per-pass analysis (lints at any dump-after point,
+          translation validation) *)
 }
 
 val config :
   ?disabled:string list ->
   ?dump_after:hook ->
   ?dump_filter:(string -> bool) ->
+  ?before_pass:hook ->
+  ?after_pass:hook ->
   Pass.t list ->
   config
 

@@ -8,13 +8,15 @@ val backward_remat : Pass.t
 val insert_conversions : Pass.t
 val lower : Pass.t
 val analyze : Pass.t
+val certify : Pass.t
 
 (** The behaviour-preserving engine pipeline, in execution order:
     [anchor; forward_propagate; simplify; backward_remat;
     insert_conversions; lower]. *)
 val default : Pass.t list
 
-(** {!default} plus [analyze] (the verifier + lint sweep). *)
+(** {!default} plus [analyze] (the verifier + lint sweep) and [certify]
+    (translation validation of every materialized conversion plan). *)
 val all : Pass.t list
 
 val name : Pass.t -> string

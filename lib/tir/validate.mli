@@ -14,9 +14,15 @@ val program : Program.t -> Diagnostics.t list
 
 (** [analyze machine prog ~result] = {!program} plus the full
     {!Lint.passes} sweep (coalescing, broadcast redundancy, bank
-    certification, race checking) over the assignment recorded by
-    [result = Engine.run ... prog]. *)
+    certification, race checking) plus {!Pass_certify} translation
+    validation of every materialized conversion plan, over the
+    assignment recorded by [result = Engine.run ... prog]. *)
 val analyze : Gpusim.Machine.t -> Program.t -> result:Engine.result -> Diagnostics.t list
+
+(** The LL2xx–LL5xx lint sweep as a {!Pass_manager} hook, for per-pass
+    analysis at any dump-after point (the lints tolerate partially
+    assigned programs); pass it as [after_pass] or [dump_after]. *)
+val lint_hook : Pass_manager.hook
 
 (** Raised by {!run_and_validate} with the error-severity diagnostics;
     the registered printer renders them with codes and instruction

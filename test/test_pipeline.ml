@@ -193,12 +193,12 @@ let test_rerun_idempotent () =
     Kernels.all
 
 let test_registry () =
-  Alcotest.(check int) "all = default + analyze"
-    (List.length Passes.default + 1)
+  Alcotest.(check int) "all = default + analyze + certify"
+    (List.length Passes.default + 2)
     (List.length Passes.all);
   let names = List.map Passes.name Passes.all in
   Alcotest.(check (list string)) "registered names"
-    [ "anchor"; "forward_propagate"; "simplify"; "backward_remat"; "insert_conversions"; "lower"; "analyze" ]
+    [ "anchor"; "forward_propagate"; "simplify"; "backward_remat"; "insert_conversions"; "lower"; "analyze"; "certify" ]
     names;
   List.iter
     (fun n ->

@@ -1,0 +1,249 @@
+(* Fault injection for the translation validator (Analysis.Transval):
+   mutate a proved artifact — flip one F2 matrix entry of the claimed
+   destination layout, drop one ISA instruction, swap two shuffle
+   rounds — and check the certifier's verdict against ground truth from
+   the differential interpreter (a concrete run of the same program
+   under Lower's load/store conventions).  Every refutation must come
+   with a counterexample point that replays concretely; every proof
+   must be confirmed by the concrete run. *)
+
+open Linear_layout
+
+let m = Gpusim.Machine.gh200
+let check_bool = Alcotest.(check bool)
+
+(* Nonzero everywhere, injective: an unwritten slot (0) never matches,
+   and equal payloads imply equal logical elements. *)
+let payload i = i + 1
+
+let lower_plan plan = Codegen.Lower.conversion m plan
+
+(* {1 The differential interpreter} *)
+
+let diff_out ~src ~dst ~map program =
+  let d = Gpusim.Dist.init src ~f:payload in
+  let st = Codegen.Lower.load_state program map d in
+  let (_ : Gpusim.Cost.t) = Gpusim.Isa.run m program st in
+  Codegen.Lower.store_dist map ~dst st
+
+let diff_correct ~src ~dst ~map program =
+  match diff_out ~src ~dst ~map program with
+  | out -> Gpusim.Dist.consistent_with out ~f:payload
+  | exception Failure _ -> false
+
+(* A refutation replays iff the concrete run really does produce the
+   wrong element at the certifier's counterexample point. *)
+let replays ~src ~dst ~map program (r : Analysis.Transval.refutation) =
+  match diff_out ~src ~dst ~map program with
+  | out ->
+      let want = Layout.apply_flat (Layout.flatten_outs dst) r.Analysis.Transval.counterexample in
+      out.Gpusim.Dist.data.(r.Analysis.Transval.counterexample) <> payload want
+  | exception Failure _ -> true
+
+(* The certifier is sound and complete against the differential
+   interpreter on a (possibly mutated) artifact. *)
+let verdict_matches_ground_truth ~src ~dst ~map program =
+  match (Analysis.Transval.certify_isa ~src ~dst ~map program).Analysis.Transval.verdict with
+  | Analysis.Transval.Proved -> diff_correct ~src ~dst ~map program
+  | Analysis.Transval.Refuted r -> replays ~src ~dst ~map program r
+  | Analysis.Transval.Failed _ -> (
+      (* Symbolic execution only crashes where the concrete one does. *)
+      match diff_out ~src ~dst ~map program with
+      | (_ : Gpusim.Dist.t) -> false
+      | exception Failure _ -> true)
+
+(* {1 Fault kinds} *)
+
+let drop_instr k (p : Gpusim.Isa.program) =
+  { p with Gpusim.Isa.body = List.filteri (fun i _ -> i <> k) p.Gpusim.Isa.body }
+
+let swap_shuffles (p : Gpusim.Isa.program) =
+  let rounds =
+    List.filteri
+      (fun _ i -> match i with Gpusim.Isa.Shfl_idx _ -> true | _ -> false)
+      p.Gpusim.Isa.body
+  in
+  match rounds with
+  | a :: rest when rest <> [] ->
+      let b = List.nth rest (List.length rest - 1) in
+      Some
+        {
+          p with
+          Gpusim.Isa.body =
+            List.map
+              (fun i -> if i == a then b else if i == b then a else i)
+              p.Gpusim.Isa.body;
+        }
+  | _ -> None
+
+(* Flip entry (row, col) of a layout's F2 matrix. *)
+let flip_bit layout ~row ~col =
+  let mat = Layout.to_matrix layout in
+  let cols = F2.Bitmatrix.columns mat in
+  let cols =
+    Array.mapi (fun j c -> if j = col then F2.Bitvec.add c (F2.Bitvec.unit row) else c) cols
+  in
+  Layout.of_matrix ~ins:(Layout.in_dims layout) ~outs:(Layout.out_dims layout)
+    (F2.Bitmatrix.make ~rows:(F2.Bitmatrix.rows mat) cols)
+
+(* {1 Deterministic cases} *)
+
+(* A pair whose conversion stages through shared memory (from
+   test_analysis): warps tile rows on one side, columns on the other. *)
+let smem_pair () =
+  let shape = [| 32; 32 |] in
+  let src = Blocked.default ~elems_per_thread:4 ~warp_size:32 ~num_warps:4 shape in
+  let dst =
+    Blocked.make
+      {
+        shape;
+        size_per_thread = [| 4; 1 |];
+        threads_per_warp = [| 8; 4 |];
+        warps_per_cta = [| 1; 4 |];
+        order = [| 0; 1 |];
+      }
+  in
+  (src, dst)
+
+let test_intact_proved () =
+  let src, dst = smem_pair () in
+  let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  let program, map = lower_plan plan in
+  let cert = Analysis.Transval.certify_isa ~src ~dst ~map program in
+  check_bool "intact smem plan proved" true
+    (cert.Analysis.Transval.verdict = Analysis.Transval.Proved);
+  check_bool "diff interpreter agrees" true (diff_correct ~src ~dst ~map program);
+  let cert = Analysis.Transval.certify_plan m plan in
+  check_bool "certify_plan proves too" true
+    (cert.Analysis.Transval.verdict = Analysis.Transval.Proved)
+
+let test_dropped_store_refuted () =
+  let src, dst = smem_pair () in
+  let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  let program, map = lower_plan plan in
+  let k =
+    (* Index of the first shared-memory store. *)
+    let rec find i = function
+      | Gpusim.Isa.St_shared _ :: _ -> i
+      | _ :: rest -> find (i + 1) rest
+      | [] -> Alcotest.fail "no St_shared in smem lowering"
+    in
+    find 0 program.Gpusim.Isa.body
+  in
+  let mutated = drop_instr k program in
+  (match (Analysis.Transval.certify_isa ~src ~dst ~map mutated).Analysis.Transval.verdict with
+  | Analysis.Transval.Refuted r ->
+      check_bool "counterexample replays concretely" true
+        (replays ~src ~dst ~map mutated r)
+  | v ->
+      Alcotest.failf "expected a refutation, got %s"
+        (Analysis.Transval.verdict_name v))
+
+let test_flipped_matrix_refuted () =
+  let src, dst = smem_pair () in
+  let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  let program, map = lower_plan plan in
+  (* The program implements src -> dst; claim it implements src -> dst'
+     instead.  The flipped entry changes the flattened map at a basis
+     point, so the claim must be refuted and the witness must replay
+     against dst'. *)
+  let dst' = flip_bit dst ~row:2 ~col:1 in
+  (match (Analysis.Transval.certify_isa ~src ~dst:dst' ~map program).Analysis.Transval.verdict with
+  | Analysis.Transval.Refuted r ->
+      check_bool "counterexample replays concretely" true
+        (replays ~src ~dst:dst' ~map program r)
+  | v ->
+      Alcotest.failf "expected a refutation, got %s"
+        (Analysis.Transval.verdict_name v))
+
+(* {1 Properties} *)
+
+(* Random CTA-wide blocked pairs (as in test_analysis): same CTA shape
+   on both sides, so every planned mechanism has a warp-level
+   lowering. *)
+let arb_cta_pair =
+  let gen =
+    QCheck.Gen.(
+      let* size = oneofl [ 32; 64 ] in
+      let layout_gen =
+        let* spt1 = oneofl [ 1; 2; 4 ] in
+        let* ord = oneofl [ [| 1; 0 |]; [| 0; 1 |] ] in
+        let* wpc = oneofl [ [| 1; 4 |]; [| 4; 1 |]; [| 2; 2 |] ] in
+        let spt = if ord.(0) = 1 then [| 1; spt1 |] else [| spt1; 1 |] in
+        let tpw = if ord.(0) = 1 then [| 4; 8 |] else [| 8; 4 |] in
+        return
+          (Blocked.make
+             {
+               shape = [| size; size |];
+               size_per_thread = spt;
+               threads_per_warp = tpw;
+               warps_per_cta = wpc;
+               order = ord;
+             })
+      in
+      let* a = layout_gen and* b = layout_gen in
+      return (a, b))
+  in
+  QCheck.make gen ~print:(fun (a, b) -> Layout.to_string a ^ "\n->\n" ^ Layout.to_string b)
+
+let plan_of (src, dst) = Codegen.Conversion.plan m ~src ~dst ~byte_width:4
+
+let prop_intact_plans_prove =
+  QCheck.Test.make ~name:"intact lowered plans are proved" ~count:60 arb_cta_pair
+    (fun pair ->
+      let src, dst = pair in
+      let program, map = lower_plan (plan_of pair) in
+      (Analysis.Transval.certify_isa ~src ~dst ~map program).Analysis.Transval.verdict
+      = Analysis.Transval.Proved)
+
+let prop_dropped_instr =
+  QCheck.Test.make ~name:"dropped instruction: verdict matches differential interpreter"
+    ~count:80
+    QCheck.(pair arb_cta_pair (int_bound 1000))
+    (fun (pair, seed) ->
+      let src, dst = pair in
+      let program, map = lower_plan (plan_of pair) in
+      let n = List.length program.Gpusim.Isa.body in
+      QCheck.assume (n > 0);
+      verdict_matches_ground_truth ~src ~dst ~map (drop_instr (seed mod n) program))
+
+let prop_swapped_rounds =
+  QCheck.Test.make ~name:"swapped shuffle rounds: verdict matches differential interpreter"
+    ~count:60 arb_cta_pair (fun pair ->
+      let src, dst = pair in
+      let program, map = lower_plan (plan_of pair) in
+      match swap_shuffles program with
+      | None -> QCheck.assume_fail ()
+      | Some mutated -> verdict_matches_ground_truth ~src ~dst ~map mutated)
+
+let prop_flipped_entry =
+  QCheck.Test.make ~name:"flipped matrix entry: verdict matches differential interpreter"
+    ~count:80
+    QCheck.(pair arb_cta_pair (pair small_nat small_nat))
+    (fun (pair, (r, c)) ->
+      let src, dst = pair in
+      let program, map = lower_plan (plan_of pair) in
+      let row = r mod Layout.total_out_bits dst in
+      let col = c mod Layout.total_in_bits dst in
+      let dst' = flip_bit dst ~row ~col in
+      (* The mutated claim names the same distribution space, so the
+         certifier's symbolic route still applies; ground truth is the
+         concrete run read back against the mutated claim. *)
+      verdict_matches_ground_truth ~src ~dst:dst' ~map program)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "transval"
+    [
+      ( "deterministic",
+        [
+          Alcotest.test_case "intact plan proved" `Quick test_intact_proved;
+          Alcotest.test_case "dropped store refuted + replay" `Quick
+            test_dropped_store_refuted;
+          Alcotest.test_case "flipped matrix refuted + replay" `Quick
+            test_flipped_matrix_refuted;
+        ] );
+      ( "fault-injection",
+        q [ prop_intact_plans_prove; prop_dropped_instr; prop_swapped_rounds; prop_flipped_entry ]
+      );
+    ]
