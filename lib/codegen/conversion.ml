@@ -58,8 +58,8 @@ let plan machine ~src ~dst ~byte_width =
 let execute_algebraic plan (d : Gpusim.Dist.t) =
   (* For every destination hardware point, read the value from the
      source point holding the same logical element. *)
-  let a = Layout.flatten_outs plan.src in
-  let a_pinv = Layout.pseudo_invert (Layout.flatten_ins a) in
+  let a = Layout.Memo.flatten_outs plan.src in
+  let a_pinv = Layout.Memo.pseudo_invert (Layout.flatten_ins a) in
   let dst_flat = Layout.flatten_outs plan.dst in
   let n = 1 lsl Layout.total_in_bits plan.dst in
   let data =

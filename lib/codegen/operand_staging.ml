@@ -30,7 +30,9 @@ let side_vec dist ~vec =
 let try_candidate machine ~src ~dst ~byte_width ~vec ~per_phase ~max_phase mem =
   try
     let mem_to_reg =
-      Layout.compose (Layout.invert (Layout.flatten_outs mem)) (Layout.flatten_outs dst)
+      Layout.Memo.compose
+        (Layout.Memo.invert (Layout.Memo.flatten_outs mem))
+        (Layout.Memo.flatten_outs dst)
     in
     let uses_ldmatrix =
       machine.Gpusim.Machine.has_ldmatrix && Simd.can_use_ldmatrix mem_to_reg ~byte_width

@@ -22,11 +22,8 @@ let plan machine ~src ~dst ~byte_width =
     Error "conversion crosses warps"
   else if Layout.Memo.flat_columns a Dims.block <> Layout.Memo.flat_columns b Dims.block then
     Error "conversion crosses CTAs"
-  else if
-    not
-      (F2.Bitmatrix.is_invertible (Layout.Memo.to_matrix a)
-      && F2.Bitmatrix.is_invertible (Layout.Memo.to_matrix b))
-  then Error "broadcasting layouts need the shared-memory path"
+  else if not (Layout.Memo.is_invertible a && Layout.Memo.is_invertible b) then
+    Error "broadcasting layouts need the shared-memory path"
   else begin
     ignore machine;
     let d = Layout.total_out_bits a in
@@ -70,8 +67,9 @@ let thread_of_hw layout hw = hw lsr Layout.in_bits layout Dims.register
 let execute p (src_dist : Gpusim.Dist.t) =
   if not (Layout.equal src_dist.Gpusim.Dist.layout p.src) then
     failwith "Shuffle.execute: distribution does not match the plan's source layout";
-  let a = Layout.flatten_outs p.src and b = Layout.flatten_outs p.dst in
-  let a_inv = Layout.invert (Layout.flatten_ins a) and b_inv = Layout.invert (Layout.flatten_ins b) in
+  let a = Layout.Memo.flatten_outs p.src and b = Layout.Memo.flatten_outs p.dst in
+  let a_inv = Layout.Memo.invert (Layout.flatten_ins a)
+  and b_inv = Layout.Memo.invert (Layout.flatten_ins b) in
   let dst = Array.make (1 lsl Layout.total_in_bits p.dst) 0 in
   let vig = Array.to_list (F2.Subspace.span_elements (p.vec @ p.common_thr @ p.g)) in
   let reps = F2.Subspace.span_elements p.ext in

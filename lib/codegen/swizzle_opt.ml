@@ -133,8 +133,8 @@ let optimal machine ~src ~dst ~byte_width =
   }
 
 let simulate_wavefronts machine ~mem ~dist ~byte_width ~vec =
-  let flat = Layout.flatten_outs dist in
-  let mem_inv = Layout.invert (Layout.flatten_outs mem) in
+  let flat = Layout.Memo.flatten_outs dist in
+  let mem_inv = Layout.Memo.invert (Layout.Memo.flatten_outs mem) in
   let reg_bits = Layout.in_bits dist Dims.register in
   let lane_bits = Layout.in_bits dist Dims.lane in
   (* One instruction covers the same register slots in every lane
@@ -189,12 +189,12 @@ let execute ~mem ~dst src_dist =
   match Gpusim.Dist.to_logical src_dist with
   | Error e -> failwith ("Swizzle_opt.execute: " ^ e)
   | Ok tensor ->
-      let mem_flat = Layout.flatten_outs mem in
+      let mem_flat = Layout.Memo.flatten_outs mem in
       let smem = Array.make (Array.length tensor) 0 in
       Array.iteri
         (fun off _ -> smem.(off) <- tensor.(Layout.apply_flat mem_flat off))
         smem;
-      let mem_inv = Layout.invert mem_flat in
+      let mem_inv = Layout.Memo.invert mem_flat in
       Gpusim.Dist.init dst ~f:(fun logical ->
           smem.(Layout.apply_flat mem_inv logical))
 

@@ -256,13 +256,19 @@ let is_surjective l = F2.Bitmatrix.is_surjective (to_matrix l)
 let is_injective l = F2.Bitmatrix.is_injective (to_matrix l)
 let is_invertible l = F2.Bitmatrix.is_invertible (to_matrix l)
 
+(* Both inversions factor once and reuse that factorization for the
+   feasibility check and the inverse itself — previously each paid two
+   eliminations (predicate + inverse). *)
 let invert l =
-  if not (is_invertible l) then error "invert: layout is not invertible";
-  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.inverse (to_matrix l))
+  let ech = F2.Bitmatrix.factorize (to_matrix l) in
+  if not (F2.Bitmatrix.is_invertible_with ech) then error "invert: layout is not invertible";
+  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.inverse_with ech)
 
 let pseudo_invert l =
-  if not (is_surjective l) then error "pseudo_invert: layout is not surjective";
-  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.right_inverse (to_matrix l))
+  let ech = F2.Bitmatrix.factorize (to_matrix l) in
+  if not (F2.Bitmatrix.is_surjective_with ech) then
+    error "pseudo_invert: layout is not surjective";
+  of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.right_inverse_with ech)
 
 let divide_left l t =
   let exception No in
@@ -537,6 +543,7 @@ module Memo = struct
     num_consecutive_t : int HS.t;
     free_masks_t : (string * int) list H1.t;
     matrix_t : F2.Bitmatrix.t H1.t;
+    echelon_t : F2.Bitmatrix.echelon H1.t;
   }
 
   let fresh () =
@@ -551,6 +558,7 @@ module Memo = struct
       num_consecutive_t = HS.create 64;
       free_masks_t = H1.create 64;
       matrix_t = H1.create 256;
+      echelon_t = H1.create 128;
     }
 
   let key = Domain.DLS.new_key fresh
@@ -573,7 +581,8 @@ module Memo = struct
     HS.reset tb.flat_columns_t;
     HS.reset tb.num_consecutive_t;
     H1.reset tb.free_masks_t;
-    H1.reset tb.matrix_t
+    H1.reset tb.matrix_t;
+    H1.reset tb.echelon_t
 
   (* Canonical representative without touching the counters — used to
      hash-cons the results stored in the memo tables. *)
@@ -628,13 +637,44 @@ module Memo = struct
   let compose l2 l1 =
     memo_layout H2.find_opt H2.add (fun tb -> tb.compose_t) (l2, l1) (fun () -> compose l2 l1)
 
-  let invert l = memo_layout H1.find_opt H1.add (fun tb -> tb.invert_t) l (fun () -> invert l)
+  let to_matrix_fwd = to_matrix
+
+  let rec to_matrix l =
+    memo_value H1.find_opt H1.add (fun tb -> tb.matrix_t) l (fun () -> to_matrix_fwd l)
+
+  (* The memoized factorization: one elimination per distinct layout,
+     shared by [invert], [pseudo_invert] and the predicates below.  A
+     planner cache miss that checks invertibility and then inverts pays
+     one elimination total, not one per question. *)
+  and echelon l =
+    memo_value H1.find_opt H1.add
+      (fun tb -> tb.echelon_t)
+      l
+      (fun () -> F2.Bitmatrix.factorize (to_matrix l))
+
+  let is_surjective l = F2.Bitmatrix.is_surjective_with (echelon l)
+  let is_injective l = F2.Bitmatrix.is_injective_with (echelon l)
+  let is_invertible l = F2.Bitmatrix.is_invertible_with (echelon l)
+
+  let invert l =
+    memo_layout H1.find_opt H1.add
+      (fun tb -> tb.invert_t)
+      l
+      (fun () ->
+        let ech = echelon l in
+        if not (F2.Bitmatrix.is_invertible_with ech) then
+          error "invert: layout is not invertible";
+        of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.inverse_with ech))
 
   let pseudo_invert l =
     memo_layout H1.find_opt H1.add
       (fun tb -> tb.pseudo_invert_t)
       l
-      (fun () -> pseudo_invert l)
+      (fun () ->
+        let ech = echelon l in
+        if not (F2.Bitmatrix.is_surjective_with ech) then
+          error "pseudo_invert: layout is not surjective";
+        of_matrix ~ins:(out_dims l) ~outs:(in_dims l) (F2.Bitmatrix.right_inverse_with ech))
 
   let flatten_outs ?(name = Dims.flat) l =
     memo_layout HS.find_opt HS.add
@@ -656,9 +696,6 @@ module Memo = struct
       (fun tb -> tb.free_masks_t)
       l
       (fun () -> free_variable_masks l)
-
-  let to_matrix l =
-    memo_value H1.find_opt H1.add (fun tb -> tb.matrix_t) l (fun () -> to_matrix l)
 
   let apply_flat l v = F2.Bitmatrix.apply (to_matrix l) v
 end

@@ -227,6 +227,21 @@ module Memo : sig
   val free_variable_masks : t -> (string * int) list
   val to_matrix : t -> F2.Bitmatrix.t
 
+  (** [echelon l] is the memoized factorization of [l]'s matrix: one
+      elimination per distinct layout, shared by {!invert},
+      {!pseudo_invert} and the predicates below — and available to
+      callers with their own batches of right-hand sides (pair it with
+      {!F2.Bitmatrix.solve_many} / {!F2.Bitmatrix.compose_many}). *)
+  val echelon : t -> F2.Bitmatrix.echelon
+
+  (** Predicates answered from {!echelon}'s cached factorization
+      instead of a fresh elimination per call. *)
+
+  val is_surjective : t -> bool
+
+  val is_injective : t -> bool
+  val is_invertible : t -> bool
+
   (** [apply_flat l v] like {!Layout.apply_flat}, but the matrix is
       built once per distinct layout instead of once per call. *)
   val apply_flat : t -> int -> int

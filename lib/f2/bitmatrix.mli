@@ -7,7 +7,10 @@
 type t
 
 (** [make ~rows cols] builds a matrix from its columns. Raises
-    [Invalid_argument] if a column has a set bit at or above [rows]. *)
+    [Invalid_argument] if a column has a set bit at or above [rows], or
+    if [rows] exceeds {!Bitvec.max_bits} (62 on 64-bit platforms) —
+    oversized dimensions used to wrap silently through out-of-range
+    shifts; they now fail loudly.  Use {!Packed} for wider matrices. *)
 val make : rows:int -> Bitvec.t array -> t
 
 val rows : t -> int
@@ -51,28 +54,77 @@ val is_invertible : t -> bool
 val is_identity : t -> bool
 val is_zero : t -> bool
 
-(** [is_permutation m] holds when every column has at most one set bit and
-    no two non-zero columns coincide — the shape of a distributed layout
-    matrix (Definition 4.10). *)
+(** [is_permutation m] holds when every column has {e at most} one set
+    bit and no two non-zero columns coincide — the shape of a
+    distributed layout matrix (Definition 4.10).  Zero columns are
+    accepted by design: they are the broadcasting inputs of a
+    distributed layout (a lane or warp bit that owns no element maps
+    everything to index 0), so e.g. the matrix of [Layout.zeros1d]
+    passes.  Callers that need every column non-zero must additionally
+    check {!is_injective}. *)
 val is_permutation : t -> bool
 
 (** The result of one Gaussian elimination: an MSB-indexed pivot table
-    with combination tracking.  Computing it once and solving many
-    right-hand sides against it (with {!solve_with}) costs one
-    elimination total instead of one per side — the pattern
-    {!right_inverse} uses internally and callers with batches of RHS
-    should use too. *)
+    with combination tracking, optionally carrying Method-of-Four-
+    Russians lookup tables (see {!prepare}).  Computing it once and
+    solving many right-hand sides against it costs one elimination
+    total instead of one per side — the pattern {!right_inverse} uses
+    internally and callers with batches of RHS should use too, via
+    {!solve_many} / {!compose_many}. *)
 type echelon
 
-(** [echelonize m] runs Gaussian elimination once, producing a reusable
-    factorization. *)
+(** [echelonize m] runs one-pivot-at-a-time Gaussian elimination: the
+    reference algorithm, kept as the baseline of the m4rm-vs-pivot
+    benchmark pair.  Production callers should prefer {!factorize}. *)
 val echelonize : t -> echelon
 
+(** [echelonize_m4rm ?k m] runs table-driven (Method of Four Russians)
+    elimination: pivot slots are grouped into windows of [k] bits
+    (auto-selected from the matrix size when omitted, clamped to
+    [1..8]) and each window precomputes the 2^k XOR-combinations of its
+    pivots, so reducing a column costs one table lookup per window
+    instead of one XOR per pivot.  The resulting factorization is
+    bit-identical to {!echelonize}'s — same rank, pivot values,
+    combinations, solutions and kernels (a qcheck differential suite
+    pins this) — so it is a drop-in replacement everywhere. *)
+val echelonize_m4rm : ?k:int -> t -> echelon
+
+(** [factorize m] is the production elimination: {!echelonize_m4rm}
+    with the auto-selected window width. *)
+val factorize : t -> echelon
+
 val echelon_rank : echelon -> int
+
+(** Predicate variants on an existing factorization — callers that
+    already hold an [echelon] must not pay a fresh elimination per
+    predicate (as [is_surjective]/[is_injective]/[is_invertible] each
+    do). *)
+
+val is_surjective_with : echelon -> bool
+
+val is_injective_with : echelon -> bool
+val is_invertible_with : echelon -> bool
+
+(** The pivots as [(value, combination)] pairs in increasing
+    most-significant-bit order — exposed for differential tests and
+    introspection. *)
+val echelon_pivots : echelon -> (Bitvec.t * Bitvec.t) list
+
+(** [prepare ech] builds (or refreshes) the factorization's M4RM
+    lookup tables so subsequent solves cost one lookup per window
+    instead of one XOR per pivot.  Idempotent and cheap when already
+    prepared; {!solve_many}, {!right_inverse_with} and
+    {!compose_many} call it for you. *)
+val prepare : echelon -> unit
 
 (** [solve_with ech b] solves against a precomputed factorization, with
     the same zero-free-variable convention as {!solve}. *)
 val solve_with : echelon -> Bitvec.t -> Bitvec.t option
+
+(** [solve_many ech bs] solves every right-hand side against one
+    factorization (building its lookup tables once):
+    [solve_many ech bs = Array.map (solve_with ech) bs], batched. *)
+val solve_many : echelon -> Bitvec.t array -> Bitvec.t option array
 
 (** [solve m b] finds [x] with [m x = b], setting all free variables to
     zero so the solution has minimal support among the coset of solutions
@@ -84,12 +136,34 @@ val solve : t -> Bitvec.t -> Bitvec.t option
     with zero free variables. Requires [m] surjective. *)
 val right_inverse : t -> t
 
+(** [right_inverse_with ech] as {!right_inverse}, against an existing
+    factorization — one elimination serves the surjectivity check and
+    every unit-vector solve. *)
+val right_inverse_with : echelon -> t
+
 (** [inverse m] for square invertible [m]. Raises [Invalid_argument]
     otherwise. *)
 val inverse : t -> t
 
+(** [inverse_with ech] as {!inverse}, against an existing factorization. *)
+val inverse_with : echelon -> t
+
+(** [solve_matrix ech b] is the matrix [x] with [a x = b] (zero free
+    variables), where [a] is the factored matrix — i.e. the
+    composition [a⁻¹ ∘ b] generalized to non-square [a]. [None] when
+    some column of [b] is outside the image. *)
+val solve_matrix : echelon -> t -> t option
+
+(** [compose_many ech bs] left-divides every matrix in [bs] by the
+    factored matrix against one factorization:
+    [compose_many ech bs = Array.map (solve_matrix ech) bs], batched. *)
+val compose_many : echelon -> t array -> t option array
+
 (** Basis of the kernel (null space) of the map. *)
 val kernel : t -> Bitvec.t list
+
+(** [kernel_with ech] as {!kernel}, against an existing factorization. *)
+val kernel_with : echelon -> Bitvec.t list
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,7 +1,21 @@
 type t = int
 
 let zero = 0
-let unit k = 1 lsl k
+
+(* The payload is a non-negative OCaml [int]: [Sys.int_size - 1] usable
+   bits (62 on 64-bit platforms).  Shifting at or past that width is
+   unspecified in OCaml and used to wrap silently into wrong answers;
+   every entry point that mints a coordinate checks it loudly instead. *)
+let max_bits = Sys.int_size - 1
+
+let unit k =
+  if k < 0 || k >= max_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Bitvec.unit: coordinate %d out of range (single-word F2 vectors hold %d bits; use \
+          F2.Packed for wider spaces)"
+         k max_bits)
+  else 1 lsl k
 let bit v k = v land (1 lsl k) <> 0
 let add = ( lxor )
 let pointwise_mul = ( land )

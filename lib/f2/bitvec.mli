@@ -9,7 +9,14 @@ type t = int
 
 val zero : t
 
-(** [unit k] is the basis vector [e_k]. *)
+(** Number of usable coordinates in a single-word vector:
+    [Sys.int_size - 1], i.e. 62 on 64-bit platforms.  Operations that
+    mint a coordinate at or past this width raise [Invalid_argument]
+    instead of silently wrapping; use {!Packed} for wider spaces. *)
+val max_bits : int
+
+(** [unit k] is the basis vector [e_k]. Raises [Invalid_argument] when
+    [k < 0] or [k >= max_bits]. *)
 val unit : int -> t
 
 (** [bit v k] is coordinate [k] of [v]. *)

@@ -1,0 +1,165 @@
+(* A packed bit-matrix over [Bytes]: the growth path past the 62-bit
+   single-word limit of {!Bitvec}/{!Bitmatrix}.  Rows are stored
+   contiguously as little-endian 64-bit words, so row combination — the
+   inner loop of elimination — is a straight word-XOR sweep with no
+   boxing and no per-element bounds checks: the checks happen once per
+   row operation, then the word loop runs on the unsafe primitives. *)
+
+type t = { rows : int; cols : int; words_per_row : int; data : Bytes.t }
+
+(* Unaligned 64-bit access primitives.  These skip the bounds check, so
+   they are only ever reached through wrappers that have validated the
+   row index; the word offsets they derive are in range by
+   construction ([words_per_row * 8] bytes per row). *)
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let make ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Packed.make: negative dimension";
+  let words_per_row = (cols + 63) / 64 in
+  { rows; cols; words_per_row; data = Bytes.make (max 8 (rows * words_per_row * 8)) '\000' }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_row m name i =
+  if i < 0 || i >= m.rows then
+    invalid_arg (Printf.sprintf "Packed.%s: row %d out of range [0, %d)" name i m.rows)
+
+let check_col m name j =
+  if j < 0 || j >= m.cols then
+    invalid_arg (Printf.sprintf "Packed.%s: column %d out of range [0, %d)" name j m.cols)
+
+let get m i j =
+  check_row m "get" i;
+  check_col m "get" j;
+  let byte = (i * m.words_per_row * 8) + (j lsr 3) in
+  Char.code (Bytes.get m.data byte) land (1 lsl (j land 7)) <> 0
+
+let set m i j b =
+  check_row m "set" i;
+  check_col m "set" j;
+  let byte = (i * m.words_per_row * 8) + (j lsr 3) in
+  let cur = Char.code (Bytes.get m.data byte) in
+  let mask = 1 lsl (j land 7) in
+  Bytes.set m.data byte (Char.chr (if b then cur lor mask else cur land lnot mask))
+
+let copy m = { m with data = Bytes.copy m.data }
+
+(* [xor_rows m ~src ~dst] adds row [src] into row [dst] (over F2).  The
+   bounds are validated once, then the word sweep is unchecked. *)
+let xor_rows m ~src ~dst =
+  check_row m "xor_rows" src;
+  check_row m "xor_rows" dst;
+  let s = src * m.words_per_row * 8 and d = dst * m.words_per_row * 8 in
+  for w = 0 to m.words_per_row - 1 do
+    let off = w * 8 in
+    unsafe_set_64 m.data (d + off)
+      (Int64.logxor (unsafe_get_64 m.data (d + off)) (unsafe_get_64 m.data (s + off)))
+  done
+
+let swap_rows m i j =
+  check_row m "swap_rows" i;
+  check_row m "swap_rows" j;
+  if i <> j then begin
+    let a = i * m.words_per_row * 8 and b = j * m.words_per_row * 8 in
+    for w = 0 to m.words_per_row - 1 do
+      let off = w * 8 in
+      let x = unsafe_get_64 m.data (a + off) in
+      unsafe_set_64 m.data (a + off) (unsafe_get_64 m.data (b + off));
+      unsafe_set_64 m.data (b + off) x
+    done
+  end
+
+let row_is_zero m i =
+  check_row m "row_is_zero" i;
+  let base = i * m.words_per_row * 8 in
+  let zero = ref true in
+  for w = 0 to m.words_per_row - 1 do
+    if unsafe_get_64 m.data (base + (w * 8)) <> 0L then zero := false
+  done;
+  !zero
+
+let is_zero m =
+  let zero = ref true in
+  for i = 0 to m.rows - 1 do
+    if not (row_is_zero m i) then zero := false
+  done;
+  !zero
+
+(* Row-echelon rank on a scratch copy: for each column find a pivot row
+   at or below the frontier, swap it up, clear the column below with
+   word-parallel row XORs. *)
+let rank m =
+  let m = copy m in
+  let r = ref 0 in
+  let j = ref 0 in
+  while !r < m.rows && !j < m.cols do
+    let pivot = ref (-1) in
+    let i = ref !r in
+    while !pivot < 0 && !i < m.rows do
+      if get m !i !j then pivot := !i;
+      incr i
+    done;
+    (match !pivot with
+    | -1 -> ()
+    | p ->
+        swap_rows m p !r;
+        for i = !r + 1 to m.rows - 1 do
+          if get m i !j then xor_rows m ~src:!r ~dst:i
+        done;
+        incr r);
+    incr j
+  done;
+  !r
+
+let of_bitmatrix b =
+  let m = make ~rows:(Bitmatrix.rows b) ~cols:(Bitmatrix.cols b) in
+  for j = 0 to Bitmatrix.cols b - 1 do
+    let c = ref (Bitmatrix.column b j) in
+    while !c <> 0 do
+      let i = Bitvec.ntz !c in
+      set m i j true;
+      c := !c land (!c - 1)
+    done
+  done;
+  m
+
+let to_bitmatrix m =
+  if m.rows > Bitvec.max_bits || m.cols > Bitvec.max_bits then
+    invalid_arg
+      (Printf.sprintf "Packed.to_bitmatrix: %dx%d exceeds the %d-bit single-word limit"
+         m.rows m.cols Bitvec.max_bits);
+  let cols =
+    Array.init m.cols (fun j ->
+        let c = ref 0 in
+        for i = 0 to m.rows - 1 do
+          if get m i j then c := !c lor (1 lsl i)
+        done;
+        !c)
+  in
+  Bitmatrix.make ~rows:m.rows cols
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let same = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to a.cols - 1 do
+      if get a i j <> get b i j then same := false
+    done
+  done;
+  !same
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = m.rows - 1 downto 0 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%d%s" (if get m i j then 1 else 0)
+        (if j = m.cols - 1 then "" else " ")
+    done;
+    Format.fprintf ppf "]";
+    if i > 0 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Packed bit-matrices over [Bytes]: the growth path past the
+    {!Bitvec.max_bits} (62-bit) single-word limit of {!Bitmatrix}.
+
+    Rows are stored contiguously as little-endian 64-bit words, so row
+    combination — the inner loop of elimination — is a boxed-free
+    word-XOR sweep.  Bounds are checked once per row operation at the
+    public entry points; the word loops inside run on unchecked
+    accessors. *)
+
+type t
+
+(** [make ~rows ~cols] is the all-zero [rows x cols] matrix.  Unlike
+    {!Bitmatrix.make} there is no width ceiling. *)
+val make : rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** [get m i j] is entry (row [i], column [j]).  Raises
+    [Invalid_argument] out of range. *)
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> bool -> unit
+val copy : t -> t
+
+(** [xor_rows m ~src ~dst] adds row [src] into row [dst] over [F2],
+    in place. *)
+val xor_rows : t -> src:int -> dst:int -> unit
+
+val swap_rows : t -> int -> int -> unit
+val row_is_zero : t -> int -> bool
+val is_zero : t -> bool
+
+(** Rank over [F2], by row elimination on a scratch copy. *)
+val rank : t -> int
+
+(** Lossless embedding of a single-word matrix. *)
+val of_bitmatrix : Bitmatrix.t -> t
+
+(** Inverse of {!of_bitmatrix}; raises [Invalid_argument] when either
+    dimension exceeds {!Bitvec.max_bits}. *)
+val to_bitmatrix : t -> Bitmatrix.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
