@@ -232,6 +232,43 @@ let bench_tests () =
            ignore
              (Tir.Engine.run machine ~mode:Tir.Engine.Linear ~trace
                 (gemm.Tir.Kernels.build ~size:512))));
+    (* Static cost analysis vs interpretation over the same lowered
+       conversion streams of the gemm pipeline (the streams are
+       pre-lowered; the pair measures pricing only).  The two produce
+       identical Cost.t values — the differential guarantee — so the
+       ratio is pure analyzer speedup. *)
+    (let r =
+       Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512)
+     in
+     let lowered =
+       List.filter_map
+         (fun (c : Tir.Engine.conversion_info) ->
+           Option.bind c.Tir.Engine.plan (Analysis.Static_cost.lower_plan machine))
+         r.Tir.Engine.conversions
+     in
+     Test.make ~name:"static-cost-vs-interp-gemm/static"
+       (Staged.stage (fun () ->
+            List.iter
+              (fun (p, (_ : Codegen.Lower.slot_map)) ->
+                ignore (Analysis.Static_cost.cost machine p))
+              lowered)));
+    (let r =
+       Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512)
+     in
+     let lowered =
+       List.filter_map
+         (fun (c : Tir.Engine.conversion_info) ->
+           Option.bind c.Tir.Engine.plan (Analysis.Static_cost.lower_plan machine))
+         r.Tir.Engine.conversions
+     in
+     Test.make ~name:"static-cost-vs-interp-gemm/interp"
+       (Staged.stage (fun () ->
+            List.iter
+              (fun (p, (sm : Codegen.Lower.slot_map)) ->
+                ignore
+                  (Gpusim.Isa.run machine p
+                     (Gpusim.Isa.make_state p ~slots:sm.Codegen.Lower.total_slots)))
+              lowered)));
     (* Conversion planning end to end, cold vs warm. *)
     Test.make ~name:"conversion/plan+classify-cold"
       (Staged.stage (fun () ->

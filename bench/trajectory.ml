@@ -116,6 +116,8 @@ let run baseline current threshold =
        "ll/f2/pseudo-invert-unfactored");
       ("planner swizzle warm vs cold", "ll/figure2/optimal-swizzle-warm",
        "ll/figure2/optimal-swizzle-cold");
+      ("static cost vs interpretation (gemm)", "ll/static-cost-vs-interp-gemm/static",
+       "ll/static-cost-vs-interp-gemm/interp");
     ];
   match !failures with
   | [] ->

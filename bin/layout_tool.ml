@@ -630,6 +630,114 @@ let certify_cmd =
       const certify $ machine_arg $ kernel_arg $ all_arg $ pass_filter_arg $ json_arg
       $ metrics_arg)
 
+(* {1 cost} *)
+
+let cost machine kernel_name all attribution json metrics =
+  let failed =
+    with_metrics metrics @@ fun () ->
+    let machines = if all then Gpusim.Machine.all_with_extras else [ machine ] in
+    let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+    let rows = ref [] (* newest first *) in
+    let any_error = ref false in
+    List.iter
+      (fun (m : Gpusim.Machine.t) ->
+        List.iter
+          (fun (k : Tir.Kernels.kernel) ->
+            List.iter
+              (fun (mode, mode_name) ->
+                let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+                let r = Tir.Engine.run m ~mode prog in
+                let plans = ref 0 and lowered = ref 0 in
+                let static_units = ref 0.0 and model_units = ref 0.0 in
+                let footprint = ref 0 and peak = ref 0 in
+                let diags = ref [] in
+                List.iter
+                  (fun (c : Tir.Engine.conversion_info) ->
+                    match c.Tir.Engine.plan with
+                    | None -> ()
+                    | Some plan -> (
+                        incr plans;
+                        match Analysis.Static_cost.plan m plan with
+                        | None -> ()
+                        | Some low ->
+                            incr lowered;
+                            let a = low.Analysis.Static_cost.analysis in
+                            static_units :=
+                              !static_units +. a.Analysis.Static_cost.estimate;
+                            model_units :=
+                              !model_units
+                              +. Gpusim.Cost.estimate m c.Tir.Engine.conv_cost;
+                            let sm = low.Analysis.Static_cost.slots in
+                            let rep =
+                              Analysis.Resource_check.program m
+                                ~live_in:(List.init sm.Codegen.Lower.src_regs Fun.id)
+                                ~live_out:
+                                  (List.init sm.Codegen.Lower.dst_regs (fun i ->
+                                       sm.Codegen.Lower.dst_base + i))
+                                low.Analysis.Static_cost.program
+                            in
+                            footprint :=
+                              max !footprint rep.Analysis.Resource_check.footprint_bytes;
+                            peak := max !peak rep.Analysis.Resource_check.peak_live_slots;
+                            diags :=
+                              !diags
+                              @ List.map
+                                  (Diagnostics.with_loc (Diagnostics.Tir_instr c.Tir.Engine.at))
+                                  rep.Analysis.Resource_check.diagnostics;
+                            if attribution && not all then
+                              Format.printf "%%%d %s:@.@[<v>%a@]@." c.Tir.Engine.at
+                                c.Tir.Engine.mechanism Analysis.Static_cost.pp a))
+                  r.Tir.Engine.conversions;
+                if Diagnostics.has_errors !diags then any_error := true;
+                Printf.printf
+                  "%-22s %-8s %-7s %2d/%-2d plan(s) lowered  static %8.0f  model %8.0f  \
+                   smem %6d B  peak %2d slot(s)%s\n"
+                  k.Tir.Kernels.name m.Gpusim.Machine.name mode_name !lowered !plans
+                  !static_units !model_units !footprint !peak
+                  (match List.length !diags with
+                  | 0 -> ""
+                  | n -> Printf.sprintf "  %d diagnostic(s)" n);
+                if !diags <> [] then Format.printf "%a@." Diagnostics.pp_list !diags;
+                rows :=
+                  Printf.sprintf
+                    "{\"kernel\":\"%s\",\"machine\":\"%s\",\"mode\":\"%s\",\"plans\":%d,\"lowered\":%d,\"static_cost\":%.6f,\"model_cost\":%.6f,\"footprint_bytes\":%d,\"peak_live_slots\":%d,\"diagnostics\":%s}"
+                    (Diagnostics.json_escape k.Tir.Kernels.name)
+                    (Diagnostics.json_escape m.Gpusim.Machine.name)
+                    mode_name !plans !lowered !static_units !model_units !footprint !peak
+                    (Diagnostics.to_json !diags)
+                  :: !rows)
+              [ (Tir.Engine.Linear, "linear"); (Tir.Engine.Legacy_mode, "legacy") ])
+          kernels)
+      machines;
+    (match json with
+    | None -> ()
+    | Some path ->
+        write_file path (Printf.sprintf "[%s]" (String.concat "," (List.rev !rows))));
+    !any_error
+  in
+  if failed then exit 1
+
+let attribution_arg =
+  Arg.(
+    value & flag
+    & info [ "attribution" ]
+        ~doc:
+          "Print the per-instruction cost attribution table of every lowered plan \
+           (single-kernel runs only).")
+
+let cost_cmd =
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Static cost and resource analysis: price every materialized conversion's \
+          lowered instruction stream without executing it (exactly what the interpreter \
+          would account — see the LL810 differential guarantee), and report \
+          shared-memory footprint, live ranges and register pressure (codes \
+          LL800-LL807). Exits 1 on any error-severity LL8xx diagnostic.")
+    Term.(
+      const cost $ machine_arg $ kernel_arg $ all_arg $ attribution_arg $ json_arg
+      $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "layout_tool" ~doc:"Explore linear layouts over F2 (ASPLOS'26 reproduction)."
@@ -647,4 +755,5 @@ let () =
             passes_cmd;
             lint_cmd;
             certify_cmd;
+            cost_cmd;
           ]))

@@ -1,0 +1,357 @@
+open Linear_layout
+module Isa = Gpusim.Isa
+
+type region = {
+  first_elem : int;
+  last_elem : int;
+  first_def : int option;
+  last_use : int option;
+}
+
+type report = {
+  diagnostics : Diagnostics.t list;
+  footprint_bytes : int;
+  regions : region list;
+  peak_live_slots : int;
+}
+
+let shape_ok (p : Isa.program) a =
+  Array.length a = p.Isa.warps
+  && Array.for_all (fun row -> Array.length row = p.Isa.lanes) a
+
+(* Lane tables of an instruction, for the LL800 shape gate. *)
+let lane_tables = function
+  | Isa.Sel { src_slot; _ } -> [ src_slot ]
+  | Isa.Scatter { dst_slot; _ } -> [ dst_slot ]
+  | Isa.Shfl_idx { src_lane; keep; _ } ->
+      [ src_lane; Array.map (Array.map Bool.to_int) keep ]
+  | Isa.St_shared { addr; _ } | Isa.Ld_shared { addr; _ } -> [ addr ]
+  | Isa.Mov _ | Isa.Bin _ | Isa.Bar_sync -> []
+
+(* Iterate the in-range shared-memory element offsets of a store/load;
+   [oob] receives each out-of-range one. *)
+let iter_elems (p : Isa.program) ~slots ~addr ~oob f =
+  let n = List.length slots in
+  for w = 0 to p.Isa.warps - 1 do
+    for l = 0 to p.Isa.lanes - 1 do
+      for i = 0 to n - 1 do
+        let a = addr.(w).(l) + i in
+        if a < 0 || a >= p.Isa.smem_elems then oob a else f a
+      done
+    done
+  done
+
+type agg = { mutable lanes : int; mutable flagged : int }
+
+let bump tbl key flagged =
+  let a =
+    match Hashtbl.find_opt tbl key with
+    | Some a -> a
+    | None ->
+        let a = { lanes = 0; flagged = 0 } in
+        Hashtbl.add tbl key a;
+        a
+  in
+  a.lanes <- a.lanes + 1;
+  if flagged then a.flagged <- a.flagged + 1
+
+let program machine ?(live_in = []) ?live_out (p : Isa.program) =
+  let body = Array.of_list p.Isa.body in
+  let n = Array.length body in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let loc i = Diagnostics.Isa_instr i in
+  (* LL800 / LL807: structural validity; malformed instructions are
+     excluded from the dataflow below. *)
+  let skip = Array.make n false in
+  Array.iteri
+    (fun i instr ->
+      if List.exists (fun t -> not (shape_ok p t)) (lane_tables instr) then begin
+        skip.(i) <- true;
+        emit
+          (Diagnostics.error ~code:"LL800" ~loc:(loc i)
+             "%s: per-warp/lane table has wrong shape (expected %dx%d)"
+             (Isa.instr_class instr) p.Isa.warps p.Isa.lanes)
+      end
+      else
+        match instr with
+        | Isa.Shfl_idx { src_lane; _ } ->
+            let bad = ref None in
+            Array.iter
+              (Array.iter (fun s ->
+                   if (s < 0 || s >= p.Isa.lanes) && !bad = None then bad := Some s))
+              src_lane;
+            Option.iter
+              (fun s ->
+                emit
+                  (Diagnostics.error ~code:"LL807" ~loc:(loc i)
+                     "shuffle source lane %d out of range (program has %d lanes)" s
+                     p.Isa.lanes))
+              !bad
+        | _ -> ())
+    body;
+  (* Shared memory, forward: bounds, footprint, read-before-store,
+     region def/use extents. *)
+  let stored = Array.make (max 1 p.Isa.smem_elems) false in
+  let touched = Array.make (max 1 p.Isa.smem_elems) false in
+  let first_def = Array.make (max 1 p.Isa.smem_elems) None in
+  let last_use = Array.make (max 1 p.Isa.smem_elems) None in
+  let footprint = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      if not skip.(i) then
+        let oob_example = ref None in
+        let oob a = if !oob_example = None then oob_example := Some a in
+        let report_oob name =
+          Option.iter
+            (fun a ->
+              emit
+                (Diagnostics.error ~code:"LL801" ~loc:(loc i)
+                   "%s: element offset %d out of range (program declares %d elements)" name
+                   a p.Isa.smem_elems))
+            !oob_example
+        in
+        match instr with
+        | Isa.St_shared { slots; addr; byte_width } ->
+            iter_elems p ~slots ~addr ~oob (fun a ->
+                stored.(a) <- true;
+                touched.(a) <- true;
+                if first_def.(a) = None then first_def.(a) <- Some i;
+                footprint := max !footprint ((a + 1) * byte_width));
+            report_oob "st.shared"
+        | Isa.Ld_shared { slots; addr; byte_width } ->
+            let unwritten = ref None in
+            iter_elems p ~slots ~addr ~oob (fun a ->
+                touched.(a) <- true;
+                last_use.(a) <- Some i;
+                footprint := max !footprint ((a + 1) * byte_width);
+                if (not stored.(a)) && !unwritten = None then unwritten := Some a);
+            report_oob "ld.shared";
+            Option.iter
+              (fun a ->
+                emit
+                  (Diagnostics.warning ~code:"LL803" ~loc:(loc i)
+                     "ld.shared reads element %d before any store has written it \
+                      (interpreter state is zero-initialised)"
+                     a))
+              !unwritten
+        | _ -> ())
+    body;
+  if !footprint > machine.Gpusim.Machine.smem_bytes then
+    emit
+      (Diagnostics.warning ~code:"LL802"
+         "shared-memory footprint %d bytes exceeds the machine budget %d bytes" !footprint
+         machine.Gpusim.Machine.smem_bytes);
+  (* Dead stores, backward: a store none of whose elements is loaded
+     again before being overwritten (or before program end) is dead. *)
+  let will_read = Array.make (max 1 p.Isa.smem_elems) false in
+  for i = n - 1 downto 0 do
+    if not skip.(i) then
+      match body.(i) with
+      | Isa.Ld_shared { slots; addr; _ } ->
+          iter_elems p ~slots ~addr ~oob:ignore (fun a -> will_read.(a) <- true)
+      | Isa.St_shared { slots; addr; _ } ->
+          let read = ref false in
+          iter_elems p ~slots ~addr ~oob:ignore (fun a -> if will_read.(a) then read := true);
+          if not !read then
+            emit
+              (Diagnostics.warning ~code:"LL804" ~loc:(loc i)
+                 "st.shared is dead: no element it writes is loaded again");
+          iter_elems p ~slots ~addr ~oob:ignore (fun a -> will_read.(a) <- false)
+      | _ -> ()
+  done;
+  (* Registers.  Per-lane exact dataflow; LL805/LL806 fire only when
+     every lane using (resp. defining) the slot at that instruction
+     agrees, so per-lane predication never false-positives. *)
+  let nslots =
+    let m = ref (-1) in
+    let see s = if s > !m then m := s in
+    List.iter see live_in;
+    Option.iter (List.iter see) live_out;
+    Array.iteri
+      (fun i instr ->
+        if not skip.(i) then
+          match instr with
+          | Isa.Mov { dst; src } ->
+              see dst;
+              see src
+          | Isa.Sel { dst; src_slot } ->
+              see dst;
+              Array.iter (Array.iter (fun s -> if s >= 0 then see s)) src_slot
+          | Isa.Scatter { src; dst_slot } ->
+              see src;
+              Array.iter (Array.iter (fun s -> if s >= 0 then see s)) dst_slot
+          | Isa.Shfl_idx { dst; src; _ } ->
+              see dst;
+              see src
+          | Isa.St_shared { slots; _ } | Isa.Ld_shared { slots; _ } -> List.iter see slots
+          | Isa.Bin { dst; a; b; _ } ->
+              see dst;
+              see a;
+              see b
+          | Isa.Bar_sync -> ())
+      body;
+    !m + 1
+  in
+  (* served.(i).(w).(l): does some lane of warp [w] receive shuffle [i]'s
+     value from source lane [l]?  That is the condition under which lane
+     [l]'s published slot is used. *)
+  let served =
+    Array.mapi
+      (fun i instr ->
+        if skip.(i) then None
+        else
+          match instr with
+          | Isa.Shfl_idx { src_lane; keep; _ } ->
+              let t = Array.make_matrix p.Isa.warps p.Isa.lanes false in
+              for w = 0 to p.Isa.warps - 1 do
+                for l = 0 to p.Isa.lanes - 1 do
+                  let s = src_lane.(w).(l) in
+                  if keep.(w).(l) && s >= 0 && s < p.Isa.lanes then t.(w).(s) <- true
+                done
+              done;
+              Some t
+          | _ -> None)
+      body
+  in
+  let iter_uses i instr w l f =
+    match instr with
+    | Isa.Mov { src; _ } -> f src
+    | Isa.Sel { src_slot; _ } ->
+        let s = src_slot.(w).(l) in
+        if s >= 0 then f s
+    | Isa.Scatter { src; dst_slot } -> if dst_slot.(w).(l) >= 0 then f src
+    | Isa.Shfl_idx { src; _ } -> (
+        match served.(i) with Some t when t.(w).(l) -> f src | _ -> ())
+    | Isa.St_shared { slots; _ } -> List.iter f slots
+    | Isa.Ld_shared _ -> ()
+    | Isa.Bin { a; b; _ } ->
+        f a;
+        f b
+    | Isa.Bar_sync -> ()
+  in
+  let iter_defs _i instr w l f =
+    match instr with
+    | Isa.Mov { dst; _ } -> f dst
+    | Isa.Sel { dst; src_slot } -> if src_slot.(w).(l) >= 0 then f dst
+    | Isa.Scatter { dst_slot; _ } ->
+        let s = dst_slot.(w).(l) in
+        if s >= 0 then f s
+    | Isa.Shfl_idx { dst; keep; _ } -> if keep.(w).(l) then f dst
+    | Isa.Ld_shared { slots; _ } -> List.iter f slots
+    | Isa.St_shared _ | Isa.Bar_sync -> ()
+    | Isa.Bin { dst; _ } -> f dst
+  in
+  let undef_uses : (int * int, agg) Hashtbl.t = Hashtbl.create 16 in
+  let dead_defs : (int * int, agg) Hashtbl.t = Hashtbl.create 16 in
+  let defined = Array.make (max 1 nslots) false in
+  let live = Array.make (max 1 nslots) false in
+  let peak = ref 0 in
+  for w = 0 to p.Isa.warps - 1 do
+    for l = 0 to p.Isa.lanes - 1 do
+      (* Forward: use before def (LL805). *)
+      Array.fill defined 0 nslots false;
+      List.iter (fun s -> defined.(s) <- true) live_in;
+      Array.iteri
+        (fun i instr ->
+          if not skip.(i) then begin
+            iter_uses i instr w l (fun s -> bump undef_uses (i, s) (not defined.(s)));
+            iter_defs i instr w l (fun s -> defined.(s) <- true)
+          end)
+        body;
+      (* Backward: dead writes (LL806) + peak pressure. *)
+      Array.fill live 0 nslots false;
+      let count = ref 0 in
+      let set_live s v =
+        if live.(s) <> v then begin
+          live.(s) <- v;
+          count := !count + (if v then 1 else -1)
+        end
+      in
+      Option.iter (List.iter (fun s -> set_live s true)) live_out;
+      if !count > !peak then peak := !count;
+      for i = n - 1 downto 0 do
+        if not skip.(i) then begin
+          (match live_out with
+          | None -> ()
+          | Some _ ->
+              iter_defs i body.(i) w l (fun s -> bump dead_defs (i, s) (not live.(s))));
+          iter_defs i body.(i) w l (fun s -> set_live s false);
+          iter_uses i body.(i) w l (fun s -> set_live s true);
+          if !count > !peak then peak := !count
+        end
+      done
+    done
+  done;
+  let collect tbl make =
+    Hashtbl.fold
+      (fun (i, s) a acc -> if a.lanes > 0 && a.flagged = a.lanes then (i, s) :: acc else acc)
+      tbl []
+    |> List.sort compare
+    |> List.iter (fun (i, s) -> emit (make i s))
+  in
+  collect undef_uses (fun i s ->
+      Diagnostics.warning ~code:"LL805" ~loc:(loc i)
+        "slot r%d is read before any definition (interpreter registers are \
+         zero-initialised)"
+        s);
+  collect dead_defs (fun i s ->
+      Diagnostics.warning ~code:"LL806" ~loc:(loc i)
+        "write to slot r%d is dead: never read before overwrite or program end" s);
+  (* Maximal contiguous touched runs, with def/use extents. *)
+  let regions = ref [] in
+  let flush lo hi =
+    let fd = ref None and lu = ref None in
+    for a = lo to hi do
+      (match (!fd, first_def.(a)) with
+      | None, d -> fd := d
+      | Some x, Some d -> fd := Some (min x d)
+      | Some _, None -> ());
+      match (!lu, last_use.(a)) with
+      | None, u -> lu := u
+      | Some x, Some u -> lu := Some (max x u)
+      | Some _, None -> ()
+    done;
+    regions := { first_elem = lo; last_elem = hi; first_def = !fd; last_use = !lu } :: !regions
+  in
+  let run_start = ref None in
+  for a = 0 to p.Isa.smem_elems - 1 do
+    match (!run_start, touched.(a)) with
+    | None, true -> run_start := Some a
+    | Some lo, false ->
+        flush lo (a - 1);
+        run_start := None
+    | _ -> ()
+  done;
+  Option.iter (fun lo -> flush lo (p.Isa.smem_elems - 1)) !run_start;
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "analysis.resource_check.programs";
+    Obs.Metrics.incr ~by:(List.length !diags) "analysis.resource_check.diagnostics"
+  end;
+  {
+    diagnostics = List.rev !diags;
+    footprint_bytes = !footprint;
+    regions = List.rev !regions;
+    peak_live_slots = !peak;
+  }
+
+let plan machine (pl : Codegen.Conversion.plan) =
+  match Static_cost.lower_plan machine pl with
+  | None -> None
+  | Some (prog, sm) ->
+      let live_in = List.init sm.Codegen.Lower.src_regs Fun.id in
+      let live_out =
+        List.init sm.Codegen.Lower.dst_regs (fun r -> sm.Codegen.Lower.dst_base + r)
+      in
+      Some (program machine ~live_in ~live_out prog)
+
+let pp ppf r =
+  Format.fprintf ppf "footprint %d B, peak %d live slots" r.footprint_bytes
+    r.peak_live_slots;
+  List.iter
+    (fun rg ->
+      Format.fprintf ppf "@,  smem [%d..%d] def@%s use@%s" rg.first_elem rg.last_elem
+        (match rg.first_def with Some i -> string_of_int i | None -> "-")
+        (match rg.last_use with Some i -> string_of_int i | None -> "-"))
+    r.regions;
+  if r.diagnostics <> [] then Format.fprintf ppf "@,%a" Diagnostics.pp_list r.diagnostics

@@ -1,0 +1,67 @@
+(** Exact static cost of ISA programs, without execution.
+
+    Every address and lane-selection operand of {!Gpusim.Isa} is a
+    precomputed immediate, so the cost the interpreter would account —
+    shared-memory wavefronts through {!Gpusim.Banks}, shuffles, ALU
+    work, barriers — is a pure function of the instruction stream.
+    This module recomputes it by abstract interpretation, with the
+    contract (enforced by the test suite's 216-row golden table and
+    qcheck differential):
+
+    {v Static_cost.cost m p = Gpusim.Isa.run m p (make_state p) v}
+
+    cost-for-cost, for every well-formed program.  Malformed programs
+    raise [Failure] with the same messages the interpreter would (wrong
+    lane-table shape, shuffle source lane or shared-memory address out
+    of range), so the equation extends to the failure modes; the
+    graceful LL8xx reporting of the same conditions lives in
+    {!Resource_check}. *)
+
+open Linear_layout
+
+(** One row of the per-instruction cost attribution table. *)
+type attribution = {
+  index : int;  (** position in [program.body] *)
+  class_ : string;  (** {!Gpusim.Isa.instr_class} *)
+  cost : Gpusim.Cost.t;  (** this instruction's contribution *)
+}
+
+type t = {
+  total : Gpusim.Cost.t;
+  per_instr : attribution list;
+  estimate : float;  (** [Cost.estimate] of [total] on the machine *)
+}
+
+(** Fast path: the total cost only, no attribution table. *)
+val cost : Gpusim.Machine.t -> Gpusim.Isa.program -> Gpusim.Cost.t
+
+val analyze : Gpusim.Machine.t -> Gpusim.Isa.program -> t
+
+(** [differential m ~slots p] runs the interpreter on a fresh
+    [slots]-slot state and compares counter-for-counter against the
+    static cost: an LL810 error on any divergence, [] when they agree
+    (the expected outcome — a non-empty result means either module has
+    a bug, which is exactly what the fault-injection suite simulates). *)
+val differential :
+  Gpusim.Machine.t -> slots:int -> Gpusim.Isa.program -> Diagnostics.t list
+
+(** A lowered conversion plan together with its static analysis. *)
+type lowered = {
+  program : Gpusim.Isa.program;
+  slots : Codegen.Lower.slot_map;
+  analysis : t;
+}
+
+(** [lower_plan m plan] is {!Codegen.Lower.conversion} behind the same
+    guard the engine uses: [None] for plans with no warp-level lowering
+    (global round trips, CTA-shape mismatches, lowering failures) —
+    those are executed algebraically and carry only planner costs. *)
+val lower_plan :
+  Gpusim.Machine.t ->
+  Codegen.Conversion.plan ->
+  (Gpusim.Isa.program * Codegen.Lower.slot_map) option
+
+(** [plan m p] lowers (guarded as {!lower_plan}) and analyzes. *)
+val plan : Gpusim.Machine.t -> Codegen.Conversion.plan -> lowered option
+
+val pp : Format.formatter -> t -> unit

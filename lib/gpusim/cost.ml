@@ -52,7 +52,7 @@ let estimate (m : Machine.t) c =
   +. (float_of_int c.smem_insts *. m.cost_smem_inst)
   +. (float_of_int c.shuffles *. m.cost_shuffle)
   +. (float_of_int c.gmem_transactions *. m.cost_gmem_transaction)
-  +. (float_of_int c.gmem_insts *. m.cost_smem_inst)
+  +. (float_of_int c.gmem_insts *. m.cost_gmem_inst)
   +. (float_of_int c.ldmatrix *. m.cost_ldmatrix)
   +. (float_of_int c.alu *. m.cost_alu)
   +. (float_of_int c.mma *. m.cost_mma)

@@ -133,15 +133,44 @@ let run machine p st =
       (int_of_float (ceil (Cost.estimate machine cost)));
   cost
 
-let static_counts p =
+type class_counts = {
+  movs : int;
+  sels : int;
+  scatters : int;
+  shuffles : int;
+  shared_stores : int;
+  shared_loads : int;
+  bins : int;
+  barriers : int;
+}
+
+let count_classes p =
   List.fold_left
-    (fun (sh, sts, lds) i ->
+    (fun c i ->
       match i with
-      | Shfl_idx _ -> (sh + 1, sts, lds)
-      | St_shared _ -> (sh, sts + 1, lds)
-      | Ld_shared _ -> (sh, sts, lds + 1)
-      | Mov _ | Sel _ | Scatter _ | Bin _ | Bar_sync -> (sh, sts, lds))
-    (0, 0, 0) p.body
+      | Mov _ -> { c with movs = c.movs + 1 }
+      | Sel _ -> { c with sels = c.sels + 1 }
+      | Scatter _ -> { c with scatters = c.scatters + 1 }
+      | Shfl_idx _ -> { c with shuffles = c.shuffles + 1 }
+      | St_shared _ -> { c with shared_stores = c.shared_stores + 1 }
+      | Ld_shared _ -> { c with shared_loads = c.shared_loads + 1 }
+      | Bin _ -> { c with bins = c.bins + 1 }
+      | Bar_sync -> { c with barriers = c.barriers + 1 })
+    {
+      movs = 0;
+      sels = 0;
+      scatters = 0;
+      shuffles = 0;
+      shared_stores = 0;
+      shared_loads = 0;
+      bins = 0;
+      barriers = 0;
+    }
+    p.body
+
+let static_counts p =
+  let c = count_classes p in
+  (c.shuffles, c.shared_stores, c.shared_loads)
 
 let pp_slots ppf slots =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map (fun s -> "r" ^ string_of_int s) slots))

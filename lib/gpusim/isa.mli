@@ -57,9 +57,28 @@ val make_state : program -> slots:int -> state
     slots or addresses). *)
 val run : Machine.t -> program -> state -> Cost.t
 
-(** Static instruction counts (for Table 6 style reporting). *)
+(** Short class name of an instruction ("mov", "shfl", "st_shared",
+    ...), as used for obs counter names and cost attribution. *)
+val instr_class : instr -> string
+
+(** Static per-class instruction counts (Table 6 style reporting). *)
+type class_counts = {
+  movs : int;
+  sels : int;
+  scatters : int;
+  shuffles : int;
+  shared_stores : int;
+  shared_loads : int;
+  bins : int;
+  barriers : int;
+}
+
+val count_classes : program -> class_counts
+
 val static_counts : program -> int * int * int
-(** [(shuffles, shared_stores, shared_loads)] *)
+[@@ocaml.deprecated "use count_classes"]
+(** [(shuffles, shared_stores, shared_loads)] — superseded by
+    {!count_classes}, which covers every instruction class. *)
 
 val pp_instr : Format.formatter -> instr -> unit
 val pp : Format.formatter -> program -> unit

@@ -16,6 +16,7 @@ type t = {
   cost_smem_inst : float;
   cost_shuffle : float;
   cost_gmem_transaction : float;
+  cost_gmem_inst : float;
   cost_ldmatrix : float;
   cost_alu : float;
   cost_mma : float;
@@ -39,6 +40,7 @@ let nvidia_base =
     cost_smem_inst = 1.0;
     cost_shuffle = 2.5;
     cost_gmem_transaction = 16.0;
+    cost_gmem_inst = 1.0;
     cost_ldmatrix = 2.0;
     cost_alu = 0.25;
     cost_mma = 4.0;

@@ -26,6 +26,10 @@ type t = {
   cost_smem_inst : float;
   cost_shuffle : float;
   cost_gmem_transaction : float;
+  cost_gmem_inst : float;
+      (** per global-memory instruction (issue cost, on top of the
+          per-transaction weight); 1.0 on every machine, matching the
+          shared-memory instruction weight *)
   cost_ldmatrix : float;
   cost_alu : float;
   cost_mma : float;

@@ -6,6 +6,23 @@ type config = { num_warps : int }
 
 val default_configs : config list
 
+(** How a candidate's result is priced:
+    - [`Model] (default): the planners' cost model, {!Engine.time};
+    - [`Static]: conversions with a warp-level lowering are re-priced
+      with the exact static cost of their instruction streams
+      ({!Analysis.Static_cost}), with a differential assertion that the
+      static cost equals what the interpreter would account (raises
+      [Failure] on divergence — i.e. on an analyzer bug);
+    - [`Interp]: the same, but by interpreting each stream on concrete
+      state — the expensive ground truth [`Static] replaces.
+
+    [`Static] and [`Interp] therefore always pick the same winner. *)
+type rank = [ `Model | `Static | `Interp ]
+
+(** [candidate_time ?rank machine result] is the scalar the search
+    minimizes. *)
+val candidate_time : ?rank:rank -> Gpusim.Machine.t -> Engine.result -> float
+
 (** [best machine ~mode ~build ~size] runs the layout engine under each
     configuration and returns the cheapest one with its result.
 
@@ -17,6 +34,7 @@ val default_configs : config list
     {!Linear_layout.Layout.Memo} and {!Codegen.Plan_cache}). *)
 val best :
   ?domains:int ->
+  ?rank:rank ->
   Gpusim.Machine.t ->
   mode:Engine.mode ->
   build:(size:int -> Program.t) ->

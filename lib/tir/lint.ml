@@ -71,8 +71,14 @@ let conversion_passes machine (result : Pass.result) =
       match c.Pass.plan with
       | None -> []
       | Some plan ->
+          let resource =
+            match Analysis.Resource_check.plan machine plan with
+            | None -> []
+            | Some r -> r.Analysis.Resource_check.diagnostics
+          in
           Analysis.Bank_check.conversion machine plan
           @ Analysis.Races.check_plan machine plan
+          @ resource
           |> List.map (Diagnostics.with_loc (Diagnostics.Tir_instr c.Pass.at)))
     result.Pass.conversions
 

@@ -4,6 +4,7 @@ type pass_report = {
   pass : string;
   wall_ms : float;
   diagnostics : int;
+  cost_delta : float;
   plan_cache_hits : int;
   plan_cache_misses : int;
   memo_hits : int;
@@ -38,6 +39,7 @@ let run_instrumented config (st : Pass.state) =
           let plan_hits0 = Codegen.Plan_cache.hits ()
           and plan_misses0 = Codegen.Plan_cache.misses () in
           let memo_hits0 = Layout.Memo.hits () and memo_misses0 = Layout.Memo.misses () in
+          let cost0 = Gpusim.Cost.estimate st.Pass.machine st.Pass.total in
           Option.iter (fun hook -> hook P.name st) config.before_pass;
           let span = Obs.Span.enter ("pass/" ^ P.name) in
           let p0 = Obs.Clock.now () in
@@ -60,6 +62,7 @@ let run_instrumented config (st : Pass.state) =
               pass = P.name;
               wall_ms;
               diagnostics = List.length st.Pass.diags - d0;
+              cost_delta = Gpusim.Cost.estimate st.Pass.machine st.Pass.total -. cost0;
               plan_cache_hits = Codegen.Plan_cache.hits () - plan_hits0;
               plan_cache_misses = Codegen.Plan_cache.misses () - plan_misses0;
               memo_hits = Layout.Memo.hits () - memo_hits0;
@@ -70,6 +73,7 @@ let run_instrumented config (st : Pass.state) =
             ~attrs:
               [
                 ("diagnostics", string_of_int r.diagnostics);
+                ("cost_delta", Printf.sprintf "%.1f" r.cost_delta);
                 ("plan_cache.hits", string_of_int r.plan_cache_hits);
                 ("plan_cache.misses", string_of_int r.plan_cache_misses);
                 ("memo.hits", string_of_int r.memo_hits);
@@ -94,22 +98,23 @@ let run config (st : Pass.state) =
 (* {1 Reporting} *)
 
 let pp_report ppf r =
-  Format.fprintf ppf "%-20s %9s %6s %11s %11s@."
-    "pass" "ms" "diags" "plan h/m" "memo h/m";
+  Format.fprintf ppf "%-20s %9s %6s %10s %11s %11s@."
+    "pass" "ms" "diags" "cost-delta" "plan h/m" "memo h/m";
   List.iter
     (fun p ->
-      Format.fprintf ppf "%-20s %9.3f %6d %5d/%-5d %5d/%-5d@." p.pass p.wall_ms
-        p.diagnostics p.plan_cache_hits p.plan_cache_misses p.memo_hits p.memo_misses)
+      Format.fprintf ppf "%-20s %9.3f %6d %10.1f %5d/%-5d %5d/%-5d@." p.pass p.wall_ms
+        p.diagnostics p.cost_delta p.plan_cache_hits p.plan_cache_misses p.memo_hits
+        p.memo_misses)
     r.pass_reports;
   Format.fprintf ppf "%-20s %9.3f@." "total" r.total_ms
 
 let to_json r =
   let pass p =
     Printf.sprintf
-      "{\"pass\":\"%s\",\"wall_ms\":%.6f,\"diagnostics\":%d,\"plan_cache\":{\"hits\":%d,\"misses\":%d},\"memo\":{\"hits\":%d,\"misses\":%d}}"
+      "{\"pass\":\"%s\",\"wall_ms\":%.6f,\"diagnostics\":%d,\"cost_delta\":%.6f,\"plan_cache\":{\"hits\":%d,\"misses\":%d},\"memo\":{\"hits\":%d,\"misses\":%d}}"
       (Diagnostics.json_escape p.pass)
-      p.wall_ms p.diagnostics p.plan_cache_hits p.plan_cache_misses p.memo_hits
-      p.memo_misses
+      p.wall_ms p.diagnostics p.cost_delta p.plan_cache_hits p.plan_cache_misses
+      p.memo_hits p.memo_misses
   in
   Printf.sprintf "{\"total_ms\":%.6f,\"passes\":[%s]}" r.total_ms
     (String.concat "," (List.map pass r.pass_reports))

@@ -9,6 +9,9 @@ type pass_report = {
   pass : string;
   wall_ms : float;
   diagnostics : int;  (** diagnostics this pass appended *)
+  cost_delta : float;
+      (** change in the statically estimated cost of the accumulated
+          plan ([Cost.estimate] of [state.total]) across the pass *)
   plan_cache_hits : int;  (** {!Codegen.Plan_cache} delta during the pass *)
   plan_cache_misses : int;
   memo_hits : int;  (** {!Linear_layout.Layout.Memo} delta during the pass *)

@@ -176,9 +176,9 @@ let test_program_printing () =
   let program, _ = Codegen.Lower.conversion m plan in
   let s = Format.asprintf "%a" Gpusim.Isa.pp program in
   check_bool "mentions warps" true (String.length s > 0);
-  let sh, sts, lds = Gpusim.Isa.static_counts program in
-  ignore sh;
-  check_bool "has stores and loads or shuffles" true (sts + lds + sh > 0)
+  let c = Gpusim.Isa.count_classes program in
+  check_bool "has stores and loads or shuffles" true
+    (c.Gpusim.Isa.shared_stores + c.Gpusim.Isa.shared_loads + c.Gpusim.Isa.shuffles > 0)
 
 let test_lower_compressed_shuffle () =
   (* Layouts that broadcast in registers: the plain shuffle planner

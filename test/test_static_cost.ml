@@ -1,0 +1,568 @@
+(* The static≡dynamic cost contract (ISSUE 7): Static_cost must price
+   every ISA program exactly as the interpreter accounts it, and
+   Resource_check must flag ill-resourced programs.  Three layers:
+
+   - a 216-row golden sweep (27 kernels x 4 machines x 2 modes) running
+     the differential on every lowered conversion plan;
+   - randomized programs, both engine-lowered (the interp-fuzz TIR
+     motifs: elementwise chains, the reduce/broadcast softmax motif,
+     gathers, dots) and raw random ISA streams, seed-replayable with
+     STATIC_COST_FUZZ_SEED=N;
+   - fault injection: perturbing an address immediate or dropping an
+     instruction must produce a cost the differential machinery
+     distinguishes from the original's. *)
+
+open Linear_layout
+module Isa = Gpusim.Isa
+module Static_cost = Analysis.Static_cost
+module Resource_check = Analysis.Resource_check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let m = Gpusim.Machine.rtx4090
+
+let cost_pp c = Format.asprintf "%a" Gpusim.Cost.pp c
+
+let check_cost_eq what a b =
+  if a <> b then Alcotest.failf "%s: static %s <> interpreted %s" what (cost_pp a) (cost_pp b)
+
+(* {1 The 216-row golden differential} *)
+
+let test_golden_differential () =
+  let rows = ref 0 and lowered = ref 0 in
+  List.iter
+    (fun (machine : Gpusim.Machine.t) ->
+      List.iter
+        (fun (k : Tir.Kernels.kernel) ->
+          List.iter
+            (fun mode ->
+              incr rows;
+              let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
+              let r = Tir.Engine.run machine ~mode prog in
+              List.iter
+                (fun (c : Tir.Engine.conversion_info) ->
+                  match c.Tir.Engine.plan with
+                  | None -> ()
+                  | Some plan -> (
+                      match Static_cost.plan machine plan with
+                      | None -> ()
+                      | Some low ->
+                          incr lowered;
+                          let slots = low.Static_cost.slots.Codegen.Lower.total_slots in
+                          (match
+                             Static_cost.differential machine ~slots
+                               low.Static_cost.program
+                           with
+                          | [] -> ()
+                          | d :: _ ->
+                              Alcotest.failf "%s/%s/%s: %s" k.Tir.Kernels.name
+                                machine.Gpusim.Machine.name c.Tir.Engine.mechanism
+                                (Format.asprintf "%a" Diagnostics.pp d));
+                          (* The attribution table must sum to the total. *)
+                          let sum = Gpusim.Cost.zero () in
+                          List.iter
+                            (fun (a : Static_cost.attribution) ->
+                              Gpusim.Cost.add sum a.Static_cost.cost)
+                            low.Static_cost.analysis.Static_cost.per_instr;
+                          check_cost_eq
+                            (Printf.sprintf "%s attribution sum" k.Tir.Kernels.name)
+                            sum low.Static_cost.analysis.Static_cost.total))
+                r.Tir.Engine.conversions)
+            [ Tir.Engine.Linear; Tir.Engine.Legacy_mode ])
+        Tir.Kernels.all)
+    Gpusim.Machine.all_with_extras;
+  check_int "216 rows" 216 !rows;
+  check_bool "some plans lowered" true (!lowered > 100)
+
+(* {1 Randomized programs} *)
+
+let fuzz_seed =
+  match Sys.getenv_opt "STATIC_COST_FUZZ_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "STATIC_COST_FUZZ_SEED=%S is not an integer" s))
+  | None ->
+      Random.self_init ();
+      Random.bits ()
+
+(* The interp-fuzz TIR motifs (elementwise chains, reduce/broadcast,
+   gather, dot), driven through the engine so the analyzer sees
+   realistic lowered conversion streams. *)
+let fuzz_tir_program st =
+  let p = Tir.Program.create () in
+  let shape = [| 32; 32 |] in
+  let counter = ref 0 in
+  let fresh pfx =
+    incr counter;
+    Printf.sprintf "%s%d" pfx !counter
+  in
+  let load ~dtype pfx = Tir.Program.load p ~name:(fresh pfx) ~shape ~dtype () in
+  let pool = ref [ load ~dtype:Tensor_lib.Dtype.F32 "x" ] in
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let push id = pool := id :: !pool in
+  let steps = 4 + Random.State.int st 5 in
+  for _ = 1 to steps do
+    match Random.State.int st 5 with
+    | 0 -> push (Tir.Program.elementwise p ~name:"exp" [ pick () ])
+    | 1 -> push (Tir.Program.elementwise p ~name:"add" [ pick (); pick () ])
+    | 2 ->
+        let axis = Random.State.int st 2 in
+        let r = Tir.Program.reduce p (pick ()) ~axis in
+        let b = Tir.Program.broadcast p (Tir.Program.expand_dims p r ~axis) ~shape in
+        push (Tir.Program.elementwise p ~name:"div" [ pick (); b ])
+    | 3 ->
+        let idx = load ~dtype:Tensor_lib.Dtype.I32 "idx" in
+        push (Tir.Program.gather p ~src:(pick ()) ~index:idx ~axis:(Random.State.int st 2))
+    | _ ->
+        let a = load ~dtype:Tensor_lib.Dtype.F16 "a" in
+        let b = load ~dtype:Tensor_lib.Dtype.F16 "b" in
+        push (Tir.Program.dot p ~a ~b ~acc:Tensor_lib.Dtype.F32)
+  done;
+  ignore (Tir.Program.store p (pick ()));
+  p
+
+let test_fuzz_engine_lowered () =
+  Printf.printf "static-cost fuzz seed: %d (replay with STATIC_COST_FUZZ_SEED=%d)\n%!"
+    fuzz_seed fuzz_seed;
+  let st = Random.State.make [| fuzz_seed |] in
+  for i = 1 to 10 do
+    let prog = fuzz_tir_program st in
+    let r = Tir.Engine.run m ~mode:Tir.Engine.Linear prog in
+    List.iter
+      (fun (c : Tir.Engine.conversion_info) ->
+        match c.Tir.Engine.plan with
+        | None -> ()
+        | Some plan -> (
+            match Static_cost.plan m plan with
+            | None -> ()
+            | Some low -> (
+                let slots = low.Static_cost.slots.Codegen.Lower.total_slots in
+                match Static_cost.differential m ~slots low.Static_cost.program with
+                | [] -> ()
+                | d :: _ ->
+                    Alcotest.failf
+                      "fuzz tir #%d (replay with STATIC_COST_FUZZ_SEED=%d): %s" i fuzz_seed
+                      (Format.asprintf "%a" Diagnostics.pp d))))
+      r.Tir.Engine.conversions
+  done
+
+(* Raw random ISA programs exercising every instruction class with
+   valid immediates. *)
+let tbl warps lanes f = Array.init warps (fun w -> Array.init lanes (fun l -> f w l))
+
+let fuzz_isa_program st =
+  let warps = 1 + Random.State.int st 4 in
+  let lanes = [| 8; 16; 32 |].(Random.State.int st 3) in
+  let smem_elems = 64 + Random.State.int st 512 in
+  let slots = 4 + Random.State.int st 8 in
+  let slot () = Random.State.int st slots in
+  let steps = 3 + Random.State.int st 12 in
+  let body =
+    List.init steps (fun _ ->
+        match Random.State.int st 8 with
+        | 0 -> Isa.Mov { dst = slot (); src = slot () }
+        | 1 ->
+            Isa.Sel
+              {
+                dst = slot ();
+                src_slot =
+                  tbl warps lanes (fun _ _ ->
+                      if Random.State.bool st then slot () else -1);
+              }
+        | 2 ->
+            Isa.Scatter
+              {
+                src = slot ();
+                dst_slot =
+                  tbl warps lanes (fun _ _ ->
+                      if Random.State.bool st then slot () else -1);
+              }
+        | 3 ->
+            Isa.Shfl_idx
+              {
+                dst = slot ();
+                src = slot ();
+                src_lane = tbl warps lanes (fun _ _ -> Random.State.int st lanes);
+                keep = tbl warps lanes (fun _ _ -> Random.State.bool st);
+              }
+        | 4 | 5 ->
+            let nvec = 1 lsl Random.State.int st 2 in
+            let base = slot () in
+            let slots_l = List.init nvec (fun i -> (base + i) mod slots) in
+            let addr =
+              tbl warps lanes (fun _ _ -> Random.State.int st (smem_elems - nvec + 1))
+            in
+            let byte_width = [| 1; 2; 4 |].(Random.State.int st 3) in
+            if Random.State.bool st then
+              Isa.St_shared { slots = slots_l; addr; byte_width }
+            else Isa.Ld_shared { slots = slots_l; addr; byte_width }
+        | 6 ->
+            Isa.Bin
+              {
+                op = (if Random.State.bool st then `Add else `Max);
+                dst = slot ();
+                a = slot ();
+                b = slot ();
+              }
+        | _ -> Isa.Bar_sync)
+  in
+  ({ Isa.warps; lanes; smem_elems; body }, slots)
+
+let test_fuzz_raw_isa () =
+  let st = Random.State.make [| fuzz_seed + 1 |] in
+  List.iter
+    (fun machine ->
+      for i = 1 to 50 do
+        let p, slots = fuzz_isa_program st in
+        let static_c = Static_cost.cost machine p in
+        let interp = Isa.run machine p (Isa.make_state p ~slots) in
+        check_cost_eq
+          (Printf.sprintf "raw isa #%d on %s (replay with STATIC_COST_FUZZ_SEED=%d)" i
+             machine.Gpusim.Machine.name fuzz_seed)
+          static_c interp;
+        check_int
+          (Printf.sprintf "differential clean #%d" i)
+          0
+          (List.length (Static_cost.differential machine ~slots p))
+      done)
+    Gpusim.Machine.all_with_extras
+
+(* {1 Fault injection} *)
+
+(* A conflict-free single-warp store: lane l writes element l. *)
+let store_program ~lanes ~smem_elems =
+  {
+    Isa.warps = 1;
+    lanes;
+    smem_elems;
+    body =
+      [
+        Isa.St_shared
+          { slots = [ 0 ]; addr = tbl 1 lanes (fun _ l -> l); byte_width = 4 };
+      ];
+  }
+
+let test_perturbed_address_detected () =
+  let p = store_program ~lanes:32 ~smem_elems:64 in
+  (* Collide lane 1 with lane 0's bank: word 32 lands in bank 0 next to
+     word 0, so the interpreter now measures an extra wavefront. *)
+  let p' =
+    {
+      p with
+      Isa.body =
+        [
+          Isa.St_shared
+            {
+              slots = [ 0 ];
+              addr = tbl 1 32 (fun _ l -> if l = 1 then 32 else l);
+              byte_width = 4;
+            };
+        ];
+    }
+  in
+  let static_orig = Static_cost.cost m p in
+  let interp_perturbed = Isa.run m p' (Isa.make_state p' ~slots:1) in
+  check_bool "divergence detected" true (static_orig <> interp_perturbed);
+  (* And the analyzer tracks the perturbation exactly: on the perturbed
+     program itself, static and interpreted still agree. *)
+  check_cost_eq "perturbed program still exact" (Static_cost.cost m p')
+    (Isa.run m p' (Isa.make_state p' ~slots:1))
+
+let all_classes_program =
+  let lanes = 8 in
+  {
+    Isa.warps = 2;
+    lanes;
+    smem_elems = 64;
+    body =
+      [
+        Isa.Mov { dst = 1; src = 0 };
+        Isa.Bin { op = `Add; dst = 2; a = 0; b = 1 };
+        Isa.Sel { dst = 3; src_slot = tbl 2 lanes (fun _ l -> if l mod 2 = 0 then 2 else -1) };
+        Isa.Scatter { src = 3; dst_slot = tbl 2 lanes (fun _ l -> if l mod 2 = 0 then 4 else -1) };
+        Isa.Shfl_idx
+          {
+            dst = 5;
+            src = 2;
+            src_lane = tbl 2 lanes (fun _ l -> (l + 1) mod lanes);
+            keep = tbl 2 lanes (fun _ _ -> true);
+          };
+        Isa.St_shared { slots = [ 5 ]; addr = tbl 2 lanes (fun w l -> (w * lanes) + l); byte_width = 4 };
+        Isa.Bar_sync;
+        Isa.Ld_shared { slots = [ 6 ]; addr = tbl 2 lanes (fun w l -> (w * lanes) + l); byte_width = 4 };
+      ];
+  }
+
+let test_dropped_instruction_detected () =
+  let p = all_classes_program in
+  let full = Static_cost.cost m p in
+  check_cost_eq "full program exact" full (Isa.run m p (Isa.make_state p ~slots:8));
+  List.iteri
+    (fun i _ ->
+      let body' = List.filteri (fun j _ -> j <> i) p.Isa.body in
+      let p' = { p with Isa.body = body' } in
+      let static' = Static_cost.cost m p' in
+      check_bool
+        (Printf.sprintf "dropping instr %d changes the static cost" i)
+        true (static' <> full);
+      check_cost_eq
+        (Printf.sprintf "dropped-instr program %d still exact" i)
+        static' (Isa.run m p' (Isa.make_state p' ~slots:8)))
+    p.Isa.body
+
+(* {1 Resource diagnostics (LL8xx)} *)
+
+let codes (r : Resource_check.report) =
+  List.map (fun (d : Diagnostics.t) -> d.Diagnostics.code) r.Resource_check.diagnostics
+
+let has_code c r = List.mem c (codes r)
+
+let test_clean_program () =
+  let p = all_classes_program in
+  let r = Resource_check.program m ~live_in:[ 0 ] ~live_out:[ 4; 6 ] p in
+  check_int "no diagnostics on a clean program" 0 (List.length r.Resource_check.diagnostics);
+  check_int "footprint" (16 * 4) r.Resource_check.footprint_bytes;
+  (match r.Resource_check.regions with
+  | [ rg ] ->
+      check_int "region start" 0 rg.Resource_check.first_elem;
+      check_int "region end" 15 rg.Resource_check.last_elem;
+      check_bool "region defined" true (rg.Resource_check.first_def = Some 5);
+      check_bool "region used" true (rg.Resource_check.last_use = Some 7)
+  | rs -> Alcotest.failf "expected one region, got %d" (List.length rs));
+  check_bool "peak pressure positive" true (r.Resource_check.peak_live_slots > 0)
+
+let single ~smem_elems body = { Isa.warps = 1; lanes = 4; smem_elems; body }
+
+let test_smem_out_of_range () =
+  let p =
+    single ~smem_elems:4
+      [ Isa.Ld_shared { slots = [ 0 ]; addr = tbl 1 4 (fun _ l -> l + 2); byte_width = 4 } ]
+  in
+  let r = Resource_check.program m p in
+  check_bool "LL801" true (has_code "LL801" r);
+  check_bool "LL801 is an error" true
+    (Diagnostics.has_errors r.Resource_check.diagnostics)
+
+let test_smem_overflow () =
+  (* 32Ki elements x 4 bytes = 128 KiB > the RTX4090's 99 KiB. *)
+  let elems = 32 * 1024 in
+  let p =
+    single ~smem_elems:elems
+      [
+        Isa.St_shared
+          { slots = [ 0 ]; addr = tbl 1 4 (fun _ l -> elems - 4 + l); byte_width = 4 };
+      ]
+  in
+  let r = Resource_check.program m p in
+  check_bool "LL802" true (has_code "LL802" r);
+  check_int "footprint" (elems * 4) r.Resource_check.footprint_bytes
+
+let test_read_before_store () =
+  let p =
+    single ~smem_elems:16
+      [ Isa.Ld_shared { slots = [ 0 ]; addr = tbl 1 4 (fun _ l -> l); byte_width = 4 } ]
+  in
+  check_bool "LL803" true (has_code "LL803" (Resource_check.program m p))
+
+let test_dead_store () =
+  let p =
+    single ~smem_elems:16
+      [
+        Isa.St_shared { slots = [ 0 ]; addr = tbl 1 4 (fun _ l -> l); byte_width = 4 };
+        Isa.St_shared { slots = [ 0 ]; addr = tbl 1 4 (fun _ l -> l); byte_width = 4 };
+        Isa.Ld_shared { slots = [ 1 ]; addr = tbl 1 4 (fun _ l -> l); byte_width = 4 };
+      ]
+  in
+  let r = Resource_check.program m ~live_in:[ 0 ] ~live_out:[ 1 ] p in
+  (* The first store is fully overwritten before any load: dead. *)
+  match
+    List.filter (fun (d : Diagnostics.t) -> d.Diagnostics.code = "LL804")
+      r.Resource_check.diagnostics
+  with
+  | [ d ] -> check_bool "at instr 0" true (d.Diagnostics.loc = Diagnostics.Isa_instr 0)
+  | ds -> Alcotest.failf "expected exactly one LL804, got %d" (List.length ds)
+
+let test_use_before_def () =
+  let p = single ~smem_elems:16 [ Isa.Bin { op = `Add; dst = 1; a = 0; b = 0 } ] in
+  check_bool "LL805" true (has_code "LL805" (Resource_check.program m p));
+  (* Declaring slot 0 live-in silences it. *)
+  check_bool "live_in silences" false
+    (has_code "LL805" (Resource_check.program m ~live_in:[ 0 ] p))
+
+let test_dead_write () =
+  let p =
+    single ~smem_elems:16
+      [ Isa.Mov { dst = 2; src = 0 }; Isa.Mov { dst = 2; src = 1 } ]
+  in
+  let r = Resource_check.program m ~live_in:[ 0; 1 ] ~live_out:[ 2 ] p in
+  (match
+     List.filter (fun (d : Diagnostics.t) -> d.Diagnostics.code = "LL806")
+       r.Resource_check.diagnostics
+   with
+  | [ d ] -> check_bool "at instr 0" true (d.Diagnostics.loc = Diagnostics.Isa_instr 0)
+  | ds -> Alcotest.failf "expected exactly one LL806, got %d" (List.length ds));
+  (* Without a live-out contract the analysis stays silent. *)
+  check_bool "no live_out, no LL806" false
+    (has_code "LL806" (Resource_check.program m ~live_in:[ 0; 1 ] p))
+
+let test_shape_and_lane_errors () =
+  let bad_shape =
+    single ~smem_elems:16 [ Isa.Sel { dst = 0; src_slot = [| [| 0 |] |] } ]
+  in
+  check_bool "LL800" true (has_code "LL800" (Resource_check.program m bad_shape));
+  let bad_lane =
+    single ~smem_elems:16
+      [
+        Isa.Shfl_idx
+          {
+            dst = 1;
+            src = 0;
+            src_lane = tbl 1 4 (fun _ _ -> 4);
+            keep = tbl 1 4 (fun _ _ -> true);
+          };
+      ]
+  in
+  check_bool "LL807" true (has_code "LL807" (Resource_check.program m ~live_in:[ 0 ] bad_lane))
+
+let test_predicated_lanes_no_false_positives () =
+  (* A value staged only in serving lanes (Sel with -1 elsewhere), then
+     shuffled out of exactly those lanes: no LL805/LL806 may fire. *)
+  let lanes = 4 in
+  let p =
+    single ~smem_elems:16
+      [
+        (* Lanes 0 and 2 stage slot 0 into slot 1. *)
+        Isa.Sel { dst = 1; src_slot = tbl 1 lanes (fun _ l -> if l mod 2 = 0 then 0 else -1) };
+        (* Every lane pulls from an even (= staged) lane. *)
+        Isa.Shfl_idx
+          {
+            dst = 2;
+            src = 1;
+            src_lane = tbl 1 lanes (fun _ l -> l land lnot 1);
+            keep = tbl 1 lanes (fun _ _ -> true);
+          };
+      ]
+  in
+  let r = Resource_check.program m ~live_in:[ 0 ] ~live_out:[ 2 ] p in
+  check_int "no diagnostics" 0 (List.length r.Resource_check.diagnostics)
+
+let test_plan_analysis_clean () =
+  (* Lowered conversion plans must be LL8xx-clean (this is what the
+     lint sweep now runs per materialized conversion). *)
+  let blocked ~spt ~tpw shape =
+    Blocked.make
+      {
+        shape;
+        size_per_thread = spt;
+        threads_per_warp = tpw;
+        warps_per_cta = [| 1; 1 |];
+        order = [| 1; 0 |];
+      }
+  in
+  let src = blocked ~spt:[| 1; 4 |] ~tpw:[| 8; 4 |] [| 16; 16 |] in
+  let dst = blocked ~spt:[| 4; 1 |] ~tpw:[| 4; 8 |] [| 16; 16 |] in
+  let plan = Codegen.Conversion.plan m ~src ~dst ~byte_width:4 in
+  match Resource_check.plan m plan with
+  | None -> Alcotest.fail "expected a lowerable plan"
+  | Some r ->
+      check_bool "no errors" false (Diagnostics.has_errors r.Resource_check.diagnostics)
+
+(* {1 The satellite fixes} *)
+
+let test_gmem_inst_pricing () =
+  let c = Gpusim.Cost.zero () in
+  c.Gpusim.Cost.gmem_insts <- 3;
+  (* Priced by cost_gmem_inst, NOT by cost_smem_inst (the bug this
+     pins): an absurd smem weight must not leak into the estimate. *)
+  let machine = { m with Gpusim.Machine.cost_gmem_inst = 7.0; cost_smem_inst = 1000.0 } in
+  Alcotest.(check (float 1e-9)) "gmem_insts priced by cost_gmem_inst" 21.0
+    (Gpusim.Cost.estimate machine c);
+  (* All four machines carry weight 1.0, keeping golden estimates put. *)
+  List.iter
+    (fun (mm : Gpusim.Machine.t) ->
+      Alcotest.(check (float 1e-9))
+        (mm.Gpusim.Machine.name ^ " weight")
+        1.0 mm.Gpusim.Machine.cost_gmem_inst)
+    Gpusim.Machine.all_with_extras
+
+let test_count_classes () =
+  let c = Isa.count_classes all_classes_program in
+  check_int "movs" 1 c.Isa.movs;
+  check_int "sels" 1 c.Isa.sels;
+  check_int "scatters" 1 c.Isa.scatters;
+  check_int "shuffles" 1 c.Isa.shuffles;
+  check_int "stores" 1 c.Isa.shared_stores;
+  check_int "loads" 1 c.Isa.shared_loads;
+  check_int "bins" 1 c.Isa.bins;
+  check_int "barriers" 1 c.Isa.barriers
+
+(* {1 Autotune ranking} *)
+
+let test_autotune_static_matches_interp () =
+  List.iter
+    (fun (k : Tir.Kernels.kernel) ->
+      let build = k.Tir.Kernels.build and size = List.hd k.Tir.Kernels.sizes in
+      let cfg_s, r_s =
+        Tir.Autotune.best ~rank:`Static m ~mode:Tir.Engine.Linear ~build ~size
+      in
+      let cfg_i, r_i =
+        Tir.Autotune.best ~rank:`Interp m ~mode:Tir.Engine.Linear ~build ~size
+      in
+      check_int
+        (k.Tir.Kernels.name ^ ": same winner")
+        cfg_i.Tir.Autotune.num_warps cfg_s.Tir.Autotune.num_warps;
+      Alcotest.(check (float 1e-9))
+        (k.Tir.Kernels.name ^ ": same candidate time")
+        (Tir.Autotune.candidate_time ~rank:`Interp m r_i)
+        (Tir.Autotune.candidate_time ~rank:`Static m r_s))
+    Tir.Kernels.all
+
+let () =
+  Alcotest.run "static_cost"
+    (Shuffle_support.maybe_shuffle
+       [
+         ( "golden",
+           [
+             Alcotest.test_case "static = interpreted on all 216 rows" `Quick
+               test_golden_differential;
+           ] );
+         ( "fuzz",
+           [
+             Alcotest.test_case "engine-lowered fuzz programs" `Quick
+               test_fuzz_engine_lowered;
+             Alcotest.test_case "raw ISA fuzz programs" `Quick test_fuzz_raw_isa;
+           ] );
+         ( "fault injection",
+           [
+             Alcotest.test_case "perturbed address immediate" `Quick
+               test_perturbed_address_detected;
+             Alcotest.test_case "dropped instruction" `Quick
+               test_dropped_instruction_detected;
+           ] );
+         ( "resources",
+           [
+             Alcotest.test_case "clean program" `Quick test_clean_program;
+             Alcotest.test_case "LL801 address out of range" `Quick test_smem_out_of_range;
+             Alcotest.test_case "LL802 footprint overflow" `Quick test_smem_overflow;
+             Alcotest.test_case "LL803 read before store" `Quick test_read_before_store;
+             Alcotest.test_case "LL804 dead store" `Quick test_dead_store;
+             Alcotest.test_case "LL805 use before def" `Quick test_use_before_def;
+             Alcotest.test_case "LL806 dead write" `Quick test_dead_write;
+             Alcotest.test_case "LL800/LL807 structural errors" `Quick
+               test_shape_and_lane_errors;
+             Alcotest.test_case "predicated lanes, no false positives" `Quick
+               test_predicated_lanes_no_false_positives;
+             Alcotest.test_case "lowered plan is clean" `Quick test_plan_analysis_clean;
+           ] );
+         ( "satellites",
+           [
+             Alcotest.test_case "gmem_insts pricing" `Quick test_gmem_inst_pricing;
+             Alcotest.test_case "count_classes" `Quick test_count_classes;
+           ] );
+         ( "autotune",
+           [
+             Alcotest.test_case "rank `Static = rank `Interp winners" `Quick
+               test_autotune_static_matches_interp;
+           ] );
+       ])
