@@ -218,6 +218,20 @@ let bench_tests () =
            ignore
              (Tir.Certify.run machine ~mode:Tir.Engine.Linear
                 (gemm.Tir.Kernels.build ~size:512))));
+    (* Layout-assignment strategy overhead: the greedy walk vs beam
+       search (beam 2, single domain) on the same kernel — the price of
+       exploring the decision tree and re-pricing the short-list,
+       relative to committing every choice locally. *)
+    Test.make ~name:"search-vs-greedy-gemm/greedy"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear (gemm.Tir.Kernels.build ~size:512))));
+    Test.make ~name:"search-vs-greedy-gemm/search"
+      (Staged.stage (fun () ->
+           ignore
+             (Tir.Engine.run machine ~mode:Tir.Engine.Linear
+                ~strategy:(Tir.Engine.Search { Tir.Assign_search.beam = 2; domains = 1 })
+                (gemm.Tir.Kernels.build ~size:512))));
     (* Observability overhead: the same warm engine run with
        instrumentation disabled (the default — every obs site must cost
        one load and a branch) and with a live trace sink.  The disabled

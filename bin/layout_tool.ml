@@ -230,8 +230,29 @@ let with_metrics metrics f =
 
 (* {1 engine} *)
 
-let engine machine kernel_name all autotune passes_csv disabled dump_after lint_after
-    timings json metrics =
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("greedy", `Greedy); ("search", `Search) ]) `Greedy
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Layout-assignment strategy: $(b,greedy) (the Section 4.4 walk) or $(b,search) \
+           (cost-driven beam search over the decision sites, never worse than greedy on \
+           the search objective).")
+
+let beam_arg =
+  Arg.(value & opt int 4 & info [ "beam" ] ~docv:"N" ~doc:"Beam width for the search strategy.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "OCaml domains evaluating search branches in parallel (the result is \
+           deterministic for any count).")
+
+let engine machine kernel_name all autotune strategy beam domains passes_csv disabled
+    dump_after lint_after timings json metrics =
   with_metrics metrics @@ fun () ->
   let pass_list =
     match passes_csv with
@@ -273,8 +294,14 @@ let engine machine kernel_name all autotune passes_csv disabled dump_after lint_
     (fun (k : Tir.Kernels.kernel) ->
       let size = List.hd k.Tir.Kernels.sizes in
       (if autotune && not all then
+         let engine_strategy =
+           match strategy with
+           | `Greedy -> Tir.Engine.Greedy
+           | `Search -> Tir.Engine.Search { Tir.Assign_search.beam; domains }
+         in
          let cfg, _ =
-           Tir.Autotune.best machine ~mode:Tir.Engine.Linear ~build:k.Tir.Kernels.build ~size
+           Tir.Autotune.best machine ~strategy:engine_strategy ~mode:Tir.Engine.Linear
+             ~build:k.Tir.Kernels.build ~size
          in
          Printf.printf "autotuned num_warps: %d (gain %.2fx over the 4-warp default)\n"
            cfg.Tir.Autotune.num_warps
@@ -286,7 +313,22 @@ let engine machine kernel_name all autotune passes_csv disabled dump_after lint_
          Format.printf "%a@." Tir.Program.pp prog);
       let run mode name =
         let prog = k.Tir.Kernels.build ~size in
-        let st = Tir.Pass.init machine ~mode prog in
+        (* The search strategy first explores on a private build, then the
+           displayed run replays the winning script so the dump/lint/timing
+           hooks below observe the winning assignment. *)
+        let chooser, search_stats =
+          match strategy with
+          | `Greedy -> (None, None)
+          | `Search ->
+              let o =
+                Tir.Assign_search.run machine ~mode
+                  ~params:{ Tir.Assign_search.beam; domains }
+                  (k.Tir.Kernels.build ~size)
+              in
+              ( Some (Tir.Assign_search.chooser_of_script o.Tir.Assign_search.script),
+                Some o.Tir.Assign_search.stats )
+        in
+        let st = Tir.Pass.init machine ~mode ?chooser prog in
         let config =
           Tir.Pass_manager.config ~disabled ?dump_after:dump_hook ~dump_filter
             ?after_pass:lint_hook pass_list
@@ -305,6 +347,14 @@ let engine machine kernel_name all autotune passes_csv disabled dump_after lint_
         List.iter
           (fun u -> Printf.printf "        unsupported: %s\n" u)
           r.Tir.Engine.unsupported;
+        (match search_stats with
+        | None -> ()
+        | Some (s : Tir.Assign_search.stats) ->
+            Printf.printf
+              "        search: sites=%d explored=%d pruned=%d objective %.0f -> %.0f\n"
+              s.Tir.Assign_search.sites s.Tir.Assign_search.explored
+              s.Tir.Assign_search.pruned s.Tir.Assign_search.greedy_cost
+              s.Tir.Assign_search.best_cost);
         if timings then Format.printf "%a" Tir.Pass_manager.pp_report report;
         reports := (k.Tir.Kernels.name, name, report) :: !reports;
         Tir.Engine.time machine r
@@ -394,8 +444,8 @@ let engine_cmd =
           optional per-pass timings, dump-after-pass and pass selection.")
     Term.(
       const engine $ machine_arg $ kernel_arg $ engine_all_arg $ autotune_arg
-      $ passes_sel_arg $ disable_pass_arg $ dump_after_arg $ lint_after_arg $ timings_arg
-      $ engine_json_arg $ metrics_arg)
+      $ strategy_arg $ beam_arg $ domains_arg $ passes_sel_arg $ disable_pass_arg
+      $ dump_after_arg $ lint_after_arg $ timings_arg $ engine_json_arg $ metrics_arg)
 
 (* {1 trace} *)
 
@@ -540,6 +590,105 @@ let lint_cmd =
       const lint $ machine_arg $ kernel_arg $ all_arg $ conv_arg $ shape_arg
       $ kind_arg "src" "blocked" $ kind_arg "dst" "mma" $ spt_arg $ tpw_arg $ warps_arg
       $ order_arg $ bitwidth_arg $ byte_width_arg $ json_arg $ metrics_arg)
+
+(* {1 search} *)
+
+let search machine kernel_name all beam domains json metrics =
+  let failed =
+    with_metrics metrics @@ fun () ->
+    let machines = if all then Gpusim.Machine.all_with_extras else [ machine ] in
+    let kernels = if all then Tir.Kernels.all else [ Tir.Kernels.find kernel_name ] in
+    let params = { Tir.Assign_search.beam; domains } in
+    let rows = ref [] (* newest first *) in
+    let failed = ref false in
+    let checked = ref 0 and wins = ref 0 and not_worse = ref 0 in
+    let lint_errors m prog result =
+      List.length (Diagnostics.errors (Tir.Validate.analyze m prog ~result))
+    in
+    List.iter
+      (fun (m : Gpusim.Machine.t) ->
+        List.iter
+          (fun (k : Tir.Kernels.kernel) ->
+            List.iter
+              (fun (mode, mode_name) ->
+                let size = List.hd k.Tir.Kernels.sizes in
+                let build () = k.Tir.Kernels.build ~size in
+                let sprog = build () in
+                let o = Tir.Assign_search.run m ~mode ~params sprog in
+                let s = o.Tir.Assign_search.stats in
+                (* Certification of the winning script, and the lint sweep
+                   relative to the greedy baseline: search must never trade
+                   analyzer cleanliness for cost. *)
+                let cert =
+                  Tir.Certify.run m ~mode
+                    ~chooser:
+                      (Tir.Assign_search.chooser_of_script o.Tir.Assign_search.script)
+                    (build ())
+                in
+                let cert_status = Tir.Certify.status cert in
+                let gprog = build () in
+                let gres = Tir.Engine.run m ~mode gprog in
+                let greedy_lint = lint_errors m gprog gres in
+                let search_lint = lint_errors m sprog o.Tir.Assign_search.result in
+                let worse = s.Tir.Assign_search.best_cost > s.Tir.Assign_search.greedy_cost
+                and win = s.Tir.Assign_search.best_cost < s.Tir.Assign_search.greedy_cost
+                and lint_regressed = search_lint > greedy_lint in
+                incr checked;
+                if win then incr wins;
+                if not worse then incr not_worse;
+                if worse || cert_status = "refuted" || lint_regressed then failed := true;
+                let ratio =
+                  if s.Tir.Assign_search.greedy_cost = 0. then 1.
+                  else s.Tir.Assign_search.best_cost /. s.Tir.Assign_search.greedy_cost
+                in
+                Printf.printf
+                  "%-22s %-8s %-7s greedy %9.0f  search %9.0f  (%.3fx)  sites %2d \
+                   explored %3d pruned %3d  %-7s %s%s\n"
+                  k.Tir.Kernels.name m.Gpusim.Machine.name mode_name
+                  s.Tir.Assign_search.greedy_cost s.Tir.Assign_search.best_cost ratio
+                  s.Tir.Assign_search.sites s.Tir.Assign_search.explored
+                  s.Tir.Assign_search.pruned cert_status
+                  (if lint_regressed then "LINT-REGRESSED" else "lint-ok")
+                  (if worse then "  WORSE-THAN-GREEDY" else "");
+                rows :=
+                  Printf.sprintf
+                    "{\"kernel\":\"%s\",\"machine\":\"%s\",\"mode\":\"%s\",\"greedy_cost\":%.6f,\"search_cost\":%.6f,\"ratio\":%.6f,\"sites\":%d,\"explored\":%d,\"pruned\":%d,\"script\":[%s],\"certified\":\"%s\",\"lint_ok\":%b}"
+                    (Diagnostics.json_escape k.Tir.Kernels.name)
+                    (Diagnostics.json_escape m.Gpusim.Machine.name)
+                    mode_name s.Tir.Assign_search.greedy_cost
+                    s.Tir.Assign_search.best_cost ratio s.Tir.Assign_search.sites
+                    s.Tir.Assign_search.explored s.Tir.Assign_search.pruned
+                    (String.concat ","
+                       (List.map string_of_int o.Tir.Assign_search.script))
+                    (Diagnostics.json_escape cert_status)
+                    (not lint_regressed)
+                  :: !rows)
+              [ (Tir.Engine.Linear, "linear"); (Tir.Engine.Legacy_mode, "legacy") ])
+          kernels)
+      machines;
+    (match json with
+    | None -> ()
+    | Some path ->
+        write_file path (Printf.sprintf "[%s]" (String.concat "," (List.rev !rows))));
+    Printf.printf "search <= greedy on %d/%d row(s), strictly better on %d\n" !not_worse
+      !checked !wins;
+    !failed
+  in
+  if failed then exit 1
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Compare the beam-search layout-assignment strategy against the greedy baseline \
+          on a kernel or $(b,--all) kernels x machines x modes: search objective vs \
+          greedy objective (search is never worse), decision sites explored/pruned, \
+          certification of the winning script and the lint sweep relative to greedy. \
+          Exits 1 if search is worse anywhere, a winner is refuted by translation \
+          validation, or a winner has more lint errors than greedy.")
+    Term.(
+      const search $ machine_arg $ kernel_arg $ all_arg $ beam_arg $ domains_arg
+      $ json_arg $ metrics_arg)
 
 (* {1 certify} *)
 
@@ -751,6 +900,7 @@ let () =
             swizzle_cmd;
             lower_cmd;
             engine_cmd;
+            search_cmd;
             trace_cmd;
             passes_cmd;
             lint_cmd;

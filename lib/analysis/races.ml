@@ -120,8 +120,18 @@ let phase_check ~alias (p : Gpusim.Isa.program) =
   scan 0 None p.Gpusim.Isa.body
 
 let check_plan machine (plan : Codegen.Conversion.plan) =
+  (* Same guard as {!Static_cost.lower_plan} and {!Transval}: plans
+     whose CTA shapes differ between the two sides have no warp-level
+     lowering — the engine executes them algebraically, so there is no
+     instruction stream to race-check. *)
+  let cta_mismatch =
+    let src = plan.Codegen.Conversion.src and dst = plan.Codegen.Conversion.dst in
+    Layout.in_size src Dims.lane <> Layout.in_size dst Dims.lane
+    || Layout.in_size src Dims.warp <> Layout.in_size dst Dims.warp
+  in
   match plan.Codegen.Conversion.mechanism with
   | Codegen.Conversion.Global_roundtrip -> []
+  | _ when cta_mismatch -> []
   | Codegen.Conversion.Shared_memory sw ->
       let program, _ = Codegen.Lower.conversion machine plan in
       let alias =

@@ -188,6 +188,22 @@ let plan machine (pl : Codegen.Conversion.plan) =
   | None -> None
   | Some (program, slots) -> Some { program; slots; analysis = analyze machine program }
 
+(* The layout-search objective hook: the exact cost of the plan's
+   lowered instruction stream, with the static≡dynamic differential
+   asserted per plan so a search can never rank candidates with a
+   mispriced stream. *)
+let reprice_conversion machine (pl : Codegen.Conversion.plan) =
+  match lower_plan machine pl with
+  | None -> None
+  | Some (program, sm) ->
+      let slots = sm.Codegen.Lower.total_slots in
+      (match differential machine ~slots program with
+      | [] -> ()
+      | d :: _ ->
+          failwith
+            (Format.asprintf "Static_cost.reprice_conversion: %a" Diagnostics.pp d));
+      Some (cost machine program)
+
 let pp ppf t =
   Format.fprintf ppf "static cost %a = %.2f units@," Gpusim.Cost.pp t.total t.estimate;
   List.iter

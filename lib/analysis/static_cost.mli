@@ -64,4 +64,13 @@ val lower_plan :
 (** [plan m p] lowers (guarded as {!lower_plan}) and analyzes. *)
 val plan : Gpusim.Machine.t -> Codegen.Conversion.plan -> lowered option
 
+(** The layout-search objective hook: the exact static cost of the
+    plan's lowered instruction stream, [None] when the plan has no
+    warp-level lowering (keep the planner cost then).  The
+    static≡dynamic differential is asserted per plan ([Failure] on any
+    LL810 divergence), so search rankings are backed by the proven
+    pricing. *)
+val reprice_conversion :
+  Gpusim.Machine.t -> Codegen.Conversion.plan -> Gpusim.Cost.t option
+
 val pp : Format.formatter -> t -> unit

@@ -168,10 +168,6 @@ let count_classes p =
     }
     p.body
 
-let static_counts p =
-  let c = count_classes p in
-  (c.shuffles, c.shared_stores, c.shared_loads)
-
 let pp_slots ppf slots =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map (fun s -> "r" ^ string_of_int s) slots))
 

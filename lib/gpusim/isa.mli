@@ -75,10 +75,5 @@ type class_counts = {
 
 val count_classes : program -> class_counts
 
-val static_counts : program -> int * int * int
-[@@ocaml.deprecated "use count_classes"]
-(** [(shuffles, shared_stores, shared_loads)] — superseded by
-    {!count_classes}, which covers every instruction class. *)
-
 val pp_instr : Format.formatter -> instr -> unit
 val pp : Format.formatter -> program -> unit

@@ -2,25 +2,27 @@ type config = { num_warps : int }
 
 let default_configs = [ { num_warps = 1 }; { num_warps = 2 }; { num_warps = 4 }; { num_warps = 8 } ]
 
-let run_config machine ~mode ~build ~size cfg =
+let run_config machine ~mode ?(strategy = Engine.Greedy) ~build ~size cfg =
   let prog = build ~size in
-  Engine.run machine ~mode ~num_warps:cfg.num_warps prog
+  Engine.run machine ~mode ~num_warps:cfg.num_warps ~strategy prog
 
 type rank = [ `Model | `Static | `Interp ]
 
 (* The ranking functional.  [`Model] prices a result by the planners'
    cost model ({!Engine.time}).  [`Static] re-prices every conversion
    that has a warp-level lowering with the exact static cost of its
-   instruction stream ({!Analysis.Static_cost}); [`Interp] does the
-   same by actually interpreting the stream.  The two are provably
-   equal — [`Static] asserts it per plan — so they always rank
-   identically; [`Static] is the executable stepping stone to layout
-   search without interpreter runs.  Conversions with no lowering
-   (legacy round trips, cross-CTA plans) keep their model cost. *)
+   instruction stream — this is the layout-search objective
+   ({!Assign_search.objective}, LL810-asserted per plan); [`Interp]
+   does the same by actually interpreting the stream.  The two are
+   provably equal, so they always rank identically; [`Static] is the
+   executable stepping stone to layout search without interpreter
+   runs.  Conversions with no lowering (legacy round trips, cross-CTA
+   plans) keep their model cost. *)
 let candidate_time ?(rank = `Model) machine (r : Engine.result) =
   match rank with
   | `Model -> Engine.time machine r
-  | (`Static | `Interp) as rank ->
+  | `Static -> Assign_search.objective machine r
+  | `Interp ->
       List.fold_left
         (fun t (c : Engine.conversion_info) ->
           match c.Engine.plan with
@@ -31,29 +33,17 @@ let candidate_time ?(rank = `Model) machine (r : Engine.result) =
               | Some (prog, sm) ->
                   let slots = sm.Codegen.Lower.total_slots in
                   let measured =
-                    match rank with
-                    | `Static ->
-                        (match Analysis.Static_cost.differential machine ~slots prog with
-                        | [] -> ()
-                        | d :: _ ->
-                            failwith
-                              (Format.asprintf "Autotune.best ~rank:`Static: %a"
-                                 Linear_layout.Diagnostics.pp d));
-                        Analysis.Static_cost.cost machine prog
-                    | `Interp ->
-                        Gpusim.Isa.run machine prog (Gpusim.Isa.make_state prog ~slots)
+                    Gpusim.Isa.run machine prog (Gpusim.Isa.make_state prog ~slots)
                   in
                   t
                   -. Gpusim.Cost.estimate machine c.Engine.conv_cost
                   +. Gpusim.Cost.estimate machine measured))
         (Engine.time machine r) r.Engine.conversions
 
-(* Configurations are evaluated round-robin by index ([i mod domains])
-   and merged in index order with a strict [<], so the winner — and
-   every tie-break — is identical for any domain count.  Each domain
-   owns private Layout.Memo / Plan_cache tables (they live in
-   [Domain.DLS]), so workers never contend on the caches. *)
-let best ?(domains = 1) ?(rank = `Model) machine ~mode ~build ~size =
+(* Configurations are evaluated through {!Par_eval.map} (round-robin by
+   index, merged in index order) and reduced with a strict [<], so the
+   winner — and every tie-break — is identical for any domain count. *)
+let best ?(domains = 1) ?(rank = `Model) ?strategy machine ~mode ~build ~size =
   let configs = Array.of_list default_configs in
   let n = Array.length configs in
   if n = 0 then invalid_arg "Autotune.best: no configurations";
@@ -62,38 +52,13 @@ let best ?(domains = 1) ?(rank = `Model) machine ~mode ~build ~size =
       Obs.Span.enter "autotune/candidate"
         ~attrs:[ ("num_warps", string_of_int configs.(i).num_warps) ]
     in
-    let r = run_config machine ~mode ~build ~size configs.(i) in
+    let r = run_config machine ~mode ?strategy ~build ~size configs.(i) in
     let t = candidate_time ~rank machine r in
     Obs.Span.exit span ~attrs:[ ("time", Printf.sprintf "%.6f" t) ];
     (t, (configs.(i), r))
   in
-  let domains = max 1 (min domains n) in
   let span = Obs.Span.enter "autotune/best" in
-  let results =
-    if domains = 1 then Array.init n eval
-    else begin
-      (* The trace sink and enabled flag are cross-domain (atomics), so
-         worker spans land in the shared ring directly; the metrics
-         registry is per-domain (Domain.DLS), so each worker hands its
-         snapshot back for the parent to absorb. *)
-      let chunk d =
-        let rec go i acc = if i >= n then acc else go (i + domains) ((i, eval i) :: acc) in
-        let rows = go d [] in
-        (rows, Obs.Metrics.snapshot ())
-      in
-      let parts =
-        List.init domains (fun d -> Domain.spawn (fun () -> chunk d))
-        |> List.map Domain.join
-      in
-      let out = Array.make n None in
-      List.iter
-        (fun (rows, snap) ->
-          Obs.Metrics.absorb snap;
-          List.iter (fun (i, r) -> out.(i) <- Some r) rows)
-        parts;
-      Array.map Option.get out
-    end
-  in
+  let results = Par_eval.map ~domains n eval in
   let best_t = ref (fst results.(0)) and best_v = ref (snd results.(0)) in
   for i = 1 to n - 1 do
     let t, v = results.(i) in

@@ -27,14 +27,17 @@ val candidate_time : ?rank:rank -> Gpusim.Machine.t -> Engine.result -> float
     configuration and returns the cheapest one with its result.
 
     [domains] (default 1) evaluates configurations on that many OCaml 5
-    domains.  Configurations are assigned round-robin by index and the
-    results merged in index order with a strict comparison, so the
-    returned configuration and cost are identical for any domain count;
-    each domain owns private layout/plan caches (see
-    {!Linear_layout.Layout.Memo} and {!Codegen.Plan_cache}). *)
+    domains through {!Par_eval.map}.  Configurations are assigned
+    round-robin by index and the results merged in index order with a
+    strict comparison, so the returned configuration and cost are
+    identical for any domain count; each domain owns private
+    layout/plan caches (see {!Linear_layout.Layout.Memo} and
+    {!Codegen.Plan_cache}).  [strategy] selects the layout-assignment
+    strategy each candidate runs under (default [Engine.Greedy]). *)
 val best :
   ?domains:int ->
   ?rank:rank ->
+  ?strategy:Engine.strategy ->
   Gpusim.Machine.t ->
   mode:Engine.mode ->
   build:(size:int -> Program.t) ->

@@ -68,12 +68,16 @@ val status : report -> string
 (** Run the engine pipeline under full certification: per-pass
     snapshot/diff observation plus plan certification of every
     materialized conversion.  [result] is bit-for-bit what
-    {!Engine.run} computes — the observer only reads the state. *)
+    {!Engine.run} computes — the observer only reads the state.
+    [chooser] selects the layout-assignment strategy (greedy by
+    default); pass {!Assign_search.chooser_of_script} with a winning
+    script to certify a search assignment. *)
 val run :
   Gpusim.Machine.t ->
   mode:Pass.mode ->
   ?num_warps:int ->
   ?trace:Obs.Trace.t ->
+  ?chooser:Strategy.t ->
   Program.t ->
   report
 

@@ -24,9 +24,16 @@ type result = Pass.result = {
 
 let time machine r = Gpusim.Cost.estimate machine r.cost
 
-let run machine ~mode ?num_warps ?trace prog =
-  let st = Pass.init machine ~mode ?num_warps ?trace prog in
-  let (_ : Pass_manager.report) =
-    Pass_manager.run (Pass_manager.config Passes.default) st
-  in
-  Pass.result st
+type strategy = Greedy | Search of Assign_search.params
+
+let run machine ~mode ?num_warps ?trace ?(strategy = Greedy) prog =
+  match strategy with
+  | Greedy ->
+      let st = Pass.init machine ~mode ?num_warps ?trace prog in
+      let (_ : Pass_manager.report) =
+        Pass_manager.run (Pass_manager.config Passes.default) st
+      in
+      Pass.result st
+  | Search params ->
+      (Assign_search.run machine ~mode ?num_warps ?trace ~params prog)
+        .Assign_search.result

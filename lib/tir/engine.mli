@@ -45,16 +45,25 @@ type result = Pass.result = {
 (** Abstract time for the result on a machine. *)
 val time : Gpusim.Machine.t -> result -> float
 
+(** How layout-assignment decisions are committed: [Greedy] is the
+    Section 4.4 walk ({!Assign_greedy}); [Search] explores the decision
+    tree by beam search with exact static re-pricing of the short-list
+    ({!Assign_search}) — never worse than greedy on the search
+    objective. *)
+type strategy = Greedy | Search of Assign_search.params
+
 (** [run machine ~mode program] assigns layouts (mutating the program's
     [layout] fields; any previous assignment is reset first, so reruns
     are idempotent) and returns the accumulated statistics.
     [num_warps] defaults to 4.  [trace], if given, is installed as the
     observability sink for the duration of the run, collecting per-pass
-    spans and planner metrics (see {!Obs}). *)
+    spans and planner metrics (see {!Obs}).  [strategy] defaults to
+    [Greedy]. *)
 val run :
   Gpusim.Machine.t ->
   mode:mode ->
   ?num_warps:int ->
   ?trace:Obs.Trace.t ->
+  ?strategy:strategy ->
   Program.t ->
   result

@@ -1,0 +1,33 @@
+(* Deterministic domain-parallel evaluation, shared by {!Autotune.best}
+   and {!Assign_search}.  Indices are distributed round-robin
+   ([i mod domains]) and the results merged back in index order, so any
+   index-ordered reduction downstream — winner selection with a strict
+   [<], beam truncation — is identical for any domain count.  The trace
+   sink and enabled flag are cross-domain (atomics), so worker spans
+   land in the shared ring directly; the metrics registry is per-domain
+   (Domain.DLS), so each worker hands its snapshot back for the parent
+   to absorb.  Per-domain Layout.Memo / Plan_cache tables also live in
+   Domain.DLS, so workers never contend on the caches. *)
+
+let map ?(domains = 1) n f =
+  if n < 0 then invalid_arg "Par_eval.map: negative length";
+  let domains = max 1 (min domains n) in
+  if domains <= 1 then Array.init n f
+  else begin
+    let chunk d =
+      let rec go i acc = if i >= n then acc else go (i + domains) ((i, f i) :: acc) in
+      let rows = go d [] in
+      (rows, Obs.Metrics.snapshot ())
+    in
+    let parts =
+      List.init domains (fun d -> Domain.spawn (fun () -> chunk d))
+      |> List.map Domain.join
+    in
+    let out = Array.make n None in
+    List.iter
+      (fun (rows, snap) ->
+        Obs.Metrics.absorb snap;
+        List.iter (fun (i, r) -> out.(i) <- Some r) rows)
+      parts;
+    Array.map Option.get out
+  end

@@ -1,0 +1,9 @@
+(** Deterministic domain-parallel evaluation.
+
+    [map ~domains n f] computes [Array.init n f], evaluating indices
+    round-robin across [domains] worker domains and merging results in
+    index order — so any index-ordered reduction downstream (winner
+    selection with a strict [<], beam truncation) is identical for any
+    domain count.  Worker metrics snapshots are absorbed into the
+    calling domain's registry; [domains] is clamped to [[1, n]]. *)
+val map : ?domains:int -> int -> (int -> 'a) -> 'a array

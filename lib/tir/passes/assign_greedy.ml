@@ -1,0 +1,18 @@
+(* The paper's Section 4.4 heuristic, expressed as a strategy: keep the
+   default anchor, propagate the first operand's layout, rematerialize
+   exactly when the chain estimate beats the conversion estimate, store
+   directly unless converting to the coalesced anchor first is strictly
+   cheaper.  These are the very comparisons the passes performed before
+   the strategy split, so this chooser is bit-identical to the historic
+   engine (pinned by the 216-row golden table). *)
+
+let choose (site : Strategy.site) =
+  match site with
+  | Strategy.Anchor _ -> 0
+  | Strategy.Elementwise_tie _ -> 0
+  | Strategy.Remat_or_convert r ->
+      if r.Strategy.chain_estimate < r.Strategy.convert_estimate then 1 else 0
+  | Strategy.Store_direct_or_anchor s ->
+      if s.Strategy.direct_estimate <= s.Strategy.via_anchor_estimate then 0 else 1
+
+let strategy = { Strategy.name = "greedy"; choose }

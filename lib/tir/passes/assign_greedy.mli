@@ -1,0 +1,10 @@
+(** The default strategy: the paper's Section 4.4 greedy walk.
+
+    Commits the default anchor, the first operand's layout at
+    elementwise ties, rematerialization exactly when the chain estimate
+    beats the conversion estimate, and direct stores unless the
+    anchor route is strictly cheaper — bit-identical to the engine
+    before the strategy split. *)
+
+val choose : Strategy.site -> int
+val strategy : Strategy.t

@@ -61,6 +61,8 @@ type state = {
   num_warps : int;
   trace : Obs.Trace.t option;
       (* sink the Pass_manager installs for the duration of the run *)
+  chooser : Strategy.t;
+      (* commits one candidate per decision site; greedy by default *)
   prog : Program.t;
   total : Gpusim.Cost.t;
   chain_cost : (Program.id, Gpusim.Cost.t) Hashtbl.t;
@@ -75,6 +77,7 @@ type state = {
   mutable folded : int;
   mutable unsupported : string list;  (* reverse creation order *)
   mutable saw_reduce : bool;
+  mutable decisions : (Strategy.site * int) list;  (* reverse site order *)
   mutable diags : Diagnostics.t list;  (* emission order *)
 }
 
@@ -86,7 +89,8 @@ end
 
 type t = (module PASS)
 
-let init machine ~mode ?(num_warps = 4) ?trace prog =
+let init machine ~mode ?(num_warps = 4) ?trace
+    ?(chooser = Assign_greedy.strategy) prog =
   (* Engine reruns must be idempotent: the passes mutate the program's
      layout fields in place, so start every run from the unassigned
      state rather than whatever a previous run (possibly in the other
@@ -101,6 +105,7 @@ let init machine ~mode ?(num_warps = 4) ?trace prog =
     mode;
     num_warps;
     trace;
+    chooser;
     prog;
     total = Gpusim.Cost.zero ();
     chain_cost = Hashtbl.create 32;
@@ -115,8 +120,14 @@ let init machine ~mode ?(num_warps = 4) ?trace prog =
     folded = 0;
     unsupported = [];
     saw_reduce = false;
+    decisions = [];
     diags = [];
   }
+
+let decide st site =
+  let c = st.chooser.Strategy.choose site in
+  st.decisions <- (site, c) :: st.decisions;
+  c
 
 let result st =
   {

@@ -84,6 +84,9 @@ type state = {
   trace : Obs.Trace.t option;
       (** when set, the {!Pass_manager} installs this sink (enabling
           spans and metrics) for the duration of the run *)
+  chooser : Strategy.t;
+      (** commits one candidate per layout-assignment decision site
+          (see {!Strategy}); {!Assign_greedy.strategy} by default *)
   prog : Program.t;
   total : Gpusim.Cost.t;
   chain_cost : (Program.id, Gpusim.Cost.t) Hashtbl.t;
@@ -100,6 +103,9 @@ type state = {
   mutable folded : int;  (** requests dropped by [simplify] *)
   mutable unsupported : string list;  (** reverse creation order *)
   mutable saw_reduce : bool;
+  mutable decisions : (Strategy.site * int) list;
+      (** every decision site observed this run with the committed
+          choice, reverse site order *)
   mutable diags : Diagnostics.t list;  (** emission order *)
 }
 
@@ -116,9 +122,21 @@ type t = (module PASS)
 (** [init machine ~mode prog] resets the program's layout assignment
     (making engine reruns idempotent) and returns a fresh state.
     [num_warps] defaults to 4.  [trace], if given, is installed as the
-    observability sink while the {!Pass_manager} runs this state. *)
+    observability sink while the {!Pass_manager} runs this state.
+    [chooser] selects the layout-assignment strategy (greedy by
+    default). *)
 val init :
-  Gpusim.Machine.t -> mode:mode -> ?num_warps:int -> ?trace:Obs.Trace.t -> Program.t -> state
+  Gpusim.Machine.t ->
+  mode:mode ->
+  ?num_warps:int ->
+  ?trace:Obs.Trace.t ->
+  ?chooser:Strategy.t ->
+  Program.t ->
+  state
+
+(** Ask the state's strategy to commit a candidate for [site],
+    recording the decision in {!state.decisions}. *)
+val decide : state -> Strategy.site -> int
 
 (** Package the accumulated statistics (restoring creation order of the
     conversion and unsupported lists). *)

@@ -20,7 +20,8 @@ let run (st : Pass.state) =
       let shape = ins.Program.shape and dtype = ins.Program.dtype in
       match ins.Program.node with
       | Program.Load _ ->
-          let l = Pass_util.default_blocked machine ~num_warps ~shape ~dtype in
+          let default = Pass_util.default_blocked machine ~num_warps ~shape ~dtype in
+          let l = Pass_util.choose_anchor st ~at:i ~shape ~dtype ~default in
           Pass.set st i l Legacy.Support.Blocked;
           let byte_width = Pass_util.byte_width_of dtype in
           st.Pass.accesses <-
@@ -38,7 +39,8 @@ let run (st : Pass.state) =
           c.Gpusim.Cost.gmem_transactions <- tx;
           Hashtbl.replace st.Pass.chain_cost i c
       | Program.Iota _ | Program.Full _ ->
-          let l = Pass_util.default_blocked machine ~num_warps ~shape ~dtype in
+          let default = Pass_util.default_blocked machine ~num_warps ~shape ~dtype in
+          let l = Pass_util.choose_anchor st ~at:i ~shape ~dtype ~default in
           Pass.set st i l Legacy.Support.Blocked;
           st.Pass.accesses <-
             {

@@ -81,14 +81,47 @@ let run (st : Pass.state) =
               }
             :: st.Pass.pending
       | Program.Elementwise { srcs; _ } ->
-          let first = List.hd srcs in
-          let l = layout_of first in
+          (* The propagation tie-break: when operands disagree on
+             (layout, kind), any of the distinct candidates could carry
+             the result and the others be converted.  Greedy keeps the
+             first operand (the historic behaviour); a search strategy
+             may commit any candidate.  One occurrence of the chosen
+             source is skipped when queueing requests, so the greedy
+             path issues exactly the requests it always has (including
+             foldable duplicates). *)
+          let distinct =
+            List.fold_left
+              (fun acc s ->
+                if
+                  List.exists
+                    (fun s' ->
+                      Layout.equal (layout_of s') (layout_of s)
+                      && kind_of s' = kind_of s)
+                    acc
+                then acc
+                else s :: acc)
+              [] srcs
+            |> List.rev
+          in
+          let chosen =
+            match distinct with
+            | _ :: _ :: _ ->
+                let c =
+                  Pass.decide st
+                    (Strategy.Elementwise_tie
+                       { Strategy.tie_at = i; tie_choices = distinct })
+                in
+                List.nth distinct c
+            | _ -> List.hd srcs
+          in
+          let l = layout_of chosen and k = kind_of chosen in
+          let skipped = ref false in
           List.iter
             (fun s ->
-              request ~remat_candidate:true ~at:i ~src:s ~dst:l
-                ~dst_kind:(kind_of first) ())
-            (List.tl srcs);
-          set i l (kind_of first);
+              if s = chosen && not !skipped then skipped := true
+              else request ~remat_candidate:true ~at:i ~src:s ~dst:l ~dst_kind:k ())
+            srcs;
+          set i l k;
           let own_alu =
             max 1
               (Array.fold_left ( * ) 1 shape / (machine.Gpusim.Machine.warp_size * num_warps))

@@ -84,7 +84,12 @@ let run_instrumented config (st : Pass.state) =
       config.passes
   in
   Obs.Span.exit pipeline
-    ~attrs:[ ("passes", string_of_int (List.length reports)) ];
+    ~attrs:
+      [
+        ("passes", string_of_int (List.length reports));
+        ("strategy", st.Pass.chooser.Strategy.name);
+        ("decisions", string_of_int (List.length st.Pass.decisions));
+      ];
   { pass_reports = reports; total_ms = 1000. *. (Obs.Clock.now () -. t0) }
 
 let run config (st : Pass.state) =

@@ -63,11 +63,27 @@ let run (st : Pass.state) =
                 ~byte_width
             in
             match Hashtbl.find_opt st.Pass.chain_cost r.Pass.src with
-            | Some chain when Gpusim.Cost.estimate machine chain < estimate ->
-                st.Pass.remats <- st.Pass.remats + 1;
-                Gpusim.Cost.add st.Pass.total chain;
-                Some (Pass.Remat { remat_at = r.Pass.at; remat_src = r.Pass.src })
-            | _ -> Some (Pass.Convert r))
+            | Some chain ->
+                (* Both options are genuinely available: reify the
+                   choice.  Greedy rematerializes exactly when the
+                   chain estimate beats the conversion estimate. *)
+                let c =
+                  Pass.decide st
+                    (Strategy.Remat_or_convert
+                       {
+                         Strategy.remat_site_at = r.Pass.at;
+                         remat_site_src = r.Pass.src;
+                         chain_estimate = Gpusim.Cost.estimate machine chain;
+                         convert_estimate = estimate;
+                       })
+                in
+                if c = 1 then begin
+                  st.Pass.remats <- st.Pass.remats + 1;
+                  Gpusim.Cost.add st.Pass.total chain;
+                  Some (Pass.Remat { remat_at = r.Pass.at; remat_src = r.Pass.src })
+                end
+                else Some (Pass.Convert r)
+            | None -> Some (Pass.Convert r))
         | Pass.Store_decision sc ->
             let at = sc.Pass.store_at in
             let byte_width =
@@ -93,12 +109,29 @@ let run (st : Pass.state) =
                     Pass_util.convert_estimate st ~src:sc.Pass.store_src_layout
                       ~dst:sc.Pass.store_anchor ~byte_width
             in
-            let direct_ok =
-              (match st.Pass.mode with
+            let kind_ok =
+              match st.Pass.mode with
               | Pass.Linear -> true
-              | Pass.Legacy_mode -> sc.Pass.store_src_kind = Legacy.Support.Blocked)
-              && store_estimate sc.Pass.store_src_layout
-                 <= convert_estimate () +. store_estimate sc.Pass.store_anchor
+              | Pass.Legacy_mode -> sc.Pass.store_src_kind = Legacy.Support.Blocked
+            in
+            let direct_ok =
+              (* Only a real choice when the producer's layout may carry
+                 the store at all (legacy cannot store through
+                 non-blocked kinds); greedy stores directly unless the
+                 anchor route is strictly cheaper. *)
+              kind_ok
+              &&
+              let c =
+                Pass.decide st
+                  (Strategy.Store_direct_or_anchor
+                     {
+                       Strategy.store_site_at = at;
+                       direct_estimate = store_estimate sc.Pass.store_src_layout;
+                       via_anchor_estimate =
+                         convert_estimate () +. store_estimate sc.Pass.store_anchor;
+                     })
+              in
+              c = 0
             in
             let l = if direct_ok then sc.Pass.store_src_layout else sc.Pass.store_anchor in
             Pass.set st at l Legacy.Support.Blocked;

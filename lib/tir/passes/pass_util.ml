@@ -16,6 +16,67 @@ let default_blocked machine ~num_warps ~shape ~dtype =
   Blocked.default ~elems_per_thread:ept ~warp_size:machine.Gpusim.Machine.warp_size ~num_warps
     shape
 
+(* The anchor candidate set explored by search strategies: a small
+   neighborhood around the greedy pick — scalar, half-vector and
+   full-vector runs at the coalesced (row-major) order, plus the
+   order-flipped full-vector variant.  Candidates are cut before
+   costing when inexpressible as a distributed linear layout
+   (Definition 4.10) or when they duplicate the default/each other;
+   the returned count records how many were cut. *)
+let anchor_candidates machine ~num_warps ~shape ~dtype ~default =
+  let warp_size = machine.Gpusim.Machine.warp_size in
+  let numel = Array.fold_left ( * ) 1 shape in
+  let threads = warp_size * num_warps in
+  let cap = pow2_floor (max 1 (min (128 / bits_of dtype) (numel / threads))) in
+  let n = Array.length shape in
+  let fwd_order = Array.init n (fun i -> n - 1 - i) in
+  let rev_order = Array.init n (fun i -> i) in
+  let bl ~order ~ept = Blocked.default ~order ~elems_per_thread:ept ~warp_size ~num_warps shape in
+  let raw =
+    [
+      bl ~order:fwd_order ~ept:1;
+      bl ~order:fwd_order ~ept:(max 1 (cap / 2));
+      bl ~order:fwd_order ~ept:cap;
+      bl ~order:rev_order ~ept:cap;
+    ]
+  in
+  let pruned = ref 0 in
+  let keep =
+    List.fold_left
+      (fun acc l ->
+        if
+          Layout.is_distributed l
+          && (not (Layout.equal l default))
+          && not (List.exists (Layout.equal l) acc)
+        then l :: acc
+        else begin
+          incr pruned;
+          acc
+        end)
+      [] raw
+  in
+  (List.rev keep, !pruned)
+
+(* Reify the anchor choice as a decision site and commit the strategy's
+   pick.  The alternatives stay an unforced lazy under the greedy
+   strategy (choice [0] without inspecting the arity). *)
+let choose_anchor (st : Pass.state) ~at ~shape ~dtype ~default =
+  let alternatives =
+    lazy
+      (anchor_candidates st.Pass.machine ~num_warps:st.Pass.num_warps ~shape ~dtype
+         ~default)
+  in
+  let c =
+    Pass.decide st
+      (Strategy.Anchor
+         {
+           Strategy.anchor_at = at;
+           anchor_default = default;
+           anchor_alternatives = alternatives;
+         })
+  in
+  if c = 0 then default else List.nth (fst (Lazy.force alternatives)) (c - 1)
+
 let mma_bitwidth dtype = min 32 (max 4 (bits_of dtype))
 
 (* The mma path requires each tensor dimension to hold at least one

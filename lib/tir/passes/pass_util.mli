@@ -17,6 +17,28 @@ val default_blocked :
   dtype:Tensor_lib.Dtype.t ->
   Layout.t
 
+(** Alternative anchor candidates around the greedy default (scalar,
+    half- and full-vector runs plus the order-flipped variant),
+    feasibility-pruned and deduplicated, paired with the number of
+    candidates cut. *)
+val anchor_candidates :
+  Gpusim.Machine.t ->
+  num_warps:int ->
+  shape:int array ->
+  dtype:Tensor_lib.Dtype.t ->
+  default:Layout.t ->
+  Layout.t list * int
+
+(** Reify the anchor choice as a {!Strategy.Anchor} site (alternatives
+    lazily enumerated) and return the committed layout. *)
+val choose_anchor :
+  Pass.state ->
+  at:Program.id ->
+  shape:int array ->
+  dtype:Tensor_lib.Dtype.t ->
+  default:Layout.t ->
+  Layout.t
+
 val mma_bitwidth : Tensor_lib.Dtype.t -> int
 
 (** Whether every tensor dimension holds at least one mma tile. *)

@@ -29,6 +29,25 @@ type instr = {
 type t = { mutable buf : instr option array; mutable len : int }
 
 let create () = { buf = Array.make 8 None; len = 0 }
+
+(* Nodes, shapes and dtypes are immutable and shared; only the mutable
+   layout assignment is duplicated, so engine runs on the copy leave
+   the original untouched (parallel strategy evaluation). *)
+let copy t =
+  {
+    buf =
+      Array.map
+        (Option.map (fun i ->
+             {
+               node = i.node;
+               shape = i.shape;
+               dtype = i.dtype;
+               layout = i.layout;
+               kind = i.kind;
+             }))
+        t.buf;
+    len = t.len;
+  }
 let length t = t.len
 let instr t i = Option.get t.buf.(i)
 let instrs t = Array.init t.len (instr t)

@@ -39,6 +39,13 @@ type instr = {
 type t
 
 val create : unit -> t
+
+(** An independent copy of the layout assignment: nodes/shapes/dtypes
+    are shared (immutable), the mutable [layout]/[kind] fields are
+    duplicated, so engine runs on the copy leave the original
+    untouched. *)
+val copy : t -> t
+
 val instrs : t -> instr array
 val instr : t -> id -> instr
 val length : t -> int

@@ -26,13 +26,13 @@ let lint_hook : Pass_manager.hook =
   st.Pass.diags <-
     st.Pass.diags @ Lint.passes st.Pass.machine st.Pass.prog ~result:(Pass.result st)
 
-let run_and_validate machine ~mode ?num_warps ?(analyze = false) prog =
+let run_and_validate machine ~mode ?num_warps ?chooser ?(analyze = false) prog =
   (* Drive the pipeline directly so the analyze variant runs the
      verifier + lint sweep as the [analyze] pass, with its diagnostics
      attributed in the pipeline state.  The analyze variant also runs
      under the {!Certify} observer, so pass-level translation validation
      failures (LL62x) surface as validation errors. *)
-  let st = Pass.init machine ~mode ?num_warps prog in
+  let st = Pass.init machine ~mode ?num_warps ?chooser prog in
   let passes =
     if analyze && mode = Pass.Linear then Passes.all else Passes.default
   in

@@ -35,11 +35,14 @@ exception Invalid of Diagnostics.t list
     their error-severity findings fail validation too.  Only linear-mode
     assignments are verified: the legacy baseline rewrites unsupported
     layouts in place (its forced normalization conversions), so the
-    per-op relations are not observable on its final state. *)
+    per-op relations are not observable on its final state.  [chooser]
+    selects the layout-assignment strategy (greedy by default) — e.g.
+    {!Assign_search.chooser_of_script} to validate a search winner. *)
 val run_and_validate :
   Gpusim.Machine.t ->
   mode:Engine.mode ->
   ?num_warps:int ->
+  ?chooser:Strategy.t ->
   ?analyze:bool ->
   Program.t ->
   Engine.result
