@@ -23,7 +23,10 @@ let machine = Gpusim.Machine.gh200
    and plan cache is flushed at the top of each run. *)
 let flush_caches () =
   Layout.Memo.clear ();
-  Codegen.Plan_cache.clear ()
+  Codegen.Plan_cache.clear ();
+  (* The L1 above falls through to the process-wide L2: without this
+     the "cold" variants would be served from the shared cache. *)
+  Codegen.Shared_cache.clear ()
 
 (* {2 F2 substrate pairs}
 

@@ -1,23 +1,13 @@
 open Linear_layout
 
-type key = { machine : string; src : Layout.t; dst : Layout.t; byte_width : int }
+type key = Shared_cache.Key.t = {
+  machine : string;
+  src : Layout.t;
+  dst : Layout.t;
+  byte_width : int;
+}
 
-module K = struct
-  type t = key
-
-  let equal a b =
-    a.byte_width = b.byte_width
-    && String.equal a.machine b.machine
-    && Layout.equal a.src b.src
-    && Layout.equal a.dst b.dst
-
-  let hash k =
-    (Hashtbl.hash k.machine * 0x01000193)
-    lxor (Layout.Memo.hash k.src * 31)
-    lxor Layout.Memo.hash k.dst lxor k.byte_width
-end
-
-module H = Hashtbl.Make (K)
+module H = Hashtbl.Make (Shared_cache.Key)
 
 type stats = { mutable hits : int; mutable misses : int }
 
@@ -62,15 +52,28 @@ let key_of machine ~src ~dst ~byte_width =
   let src = Layout.Memo.intern src and dst = Layout.Memo.intern dst in
   { machine = machine.Gpusim.Machine.name; src; dst; byte_width }
 
-let cached tbl k compute =
+(* L1 (this domain's table) in front of the process-wide sharded L2:
+   an L1 miss probes the L2 before computing, and a computed plan is
+   published to both levels.  L1 hit/miss counters keep their historic
+   meaning (hits and misses of the calling domain); the planner only
+   actually runs on an L2 miss, so [Shared_cache.stats ()] counts the
+   process's planner invocations. *)
+let cached tbl find2 add2 k compute =
   let tb = tables () in
   match H.find_opt (tbl tb) k with
   | Some r ->
       tb.stats.hits <- tb.stats.hits + 1;
       r
   | None ->
-      let r = compute () in
       tb.stats.misses <- tb.stats.misses + 1;
+      let r =
+        match find2 k with
+        | Some r -> r
+        | None ->
+            let r = compute () in
+            add2 k r;
+            r
+      in
       H.add (tbl tb) k r;
       r
 
@@ -78,26 +81,26 @@ let conversion machine ~src ~dst ~byte_width =
   let k = key_of machine ~src ~dst ~byte_width in
   cached
     (fun tb -> tb.conv)
-    k
+    Shared_cache.find_conversion Shared_cache.add_conversion k
     (fun () -> Conversion.plan machine ~src:k.src ~dst:k.dst ~byte_width)
 
 let shuffle machine ~src ~dst ~byte_width =
   let k = key_of machine ~src ~dst ~byte_width in
   cached
     (fun tb -> tb.shuf)
-    k
+    Shared_cache.find_shuffle Shared_cache.add_shuffle k
     (fun () -> Shuffle.plan machine ~src:k.src ~dst:k.dst ~byte_width)
 
 let swizzle machine ~src ~dst ~byte_width =
   let k = key_of machine ~src ~dst ~byte_width in
   cached
     (fun tb -> tb.swiz)
-    k
+    Shared_cache.find_swizzle Shared_cache.add_swizzle k
     (fun () -> Swizzle_opt.optimal machine ~src:k.src ~dst:k.dst ~byte_width)
 
 let staging machine ~src ~dst ~byte_width =
   let k = key_of machine ~src ~dst ~byte_width in
   cached
     (fun tb -> tb.stage)
-    k
+    Shared_cache.find_staging Shared_cache.add_staging k
     (fun () -> Operand_staging.plan machine ~src:k.src ~dst:k.dst ~byte_width)

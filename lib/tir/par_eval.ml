@@ -9,6 +9,74 @@
    to absorb.  Per-domain Layout.Memo / Plan_cache tables also live in
    Domain.DLS, so workers never contend on the caches. *)
 
+module Pool = struct
+  (* A persistent variant of the same worker model for request-serving
+     workloads ({!Server}): [map] pays a [Domain.spawn] per call, a
+     pool pays it once.  Metrics accounting matches [map] — workers
+     accumulate in their own DLS registry and hand a snapshot back when
+     they exit, so [shutdown] leaves the parent's registry as if every
+     task had run locally. *)
+
+  type t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable workers : Obs.Metrics.snapshot Domain.t array;
+  }
+
+  let worker p () =
+    let rec loop () =
+      Mutex.lock p.lock;
+      while Queue.is_empty p.queue && not p.stopping do
+        Condition.wait p.nonempty p.lock
+      done;
+      match Queue.take_opt p.queue with
+      | None ->
+          (* stopping and drained *)
+          Mutex.unlock p.lock;
+          Obs.Metrics.snapshot ()
+      | Some task ->
+          Mutex.unlock p.lock;
+          (try task () with _ -> Obs.Metrics.incr "tir.pool.task_errors");
+          loop ()
+    in
+    loop ()
+
+  let create ?(domains = 1) () =
+    let domains = max 1 domains in
+    let p =
+      {
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        workers = [||];
+      }
+    in
+    p.workers <- Array.init domains (fun _ -> Domain.spawn (worker p));
+    p
+
+  let domains p = Array.length p.workers
+
+  let submit p task =
+    Mutex.lock p.lock;
+    let accepted = not p.stopping in
+    if accepted then begin
+      Queue.add task p.queue;
+      Condition.signal p.nonempty
+    end;
+    Mutex.unlock p.lock;
+    accepted
+
+  let shutdown p =
+    Mutex.lock p.lock;
+    p.stopping <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    Array.iter (fun d -> Obs.Metrics.absorb (Domain.join d)) p.workers
+end
+
 let map ?(domains = 1) n f =
   if n < 0 then invalid_arg "Par_eval.map: negative length";
   let domains = max 1 (min domains n) in

@@ -7,3 +7,26 @@
     domain count.  Worker metrics snapshots are absorbed into the
     calling domain's registry; [domains] is clamped to [[1, n]]. *)
 val map : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** Persistent worker-domain pool for request-serving workloads
+    ({!Server}): [map] pays a [Domain.spawn] per call, a pool pays it
+    once at {!Pool.create}.  Tasks are run in submission order by
+    whichever worker frees first; a task that raises is counted in the
+    ["tir.pool.task_errors"] metric and the worker keeps serving. *)
+module Pool : sig
+  type t
+
+  (** [create ~domains ()] spawns [max 1 domains] worker domains. *)
+  val create : ?domains:int -> unit -> t
+
+  val domains : t -> int
+
+  (** [submit p task] enqueues [task]; returns [false] (task dropped)
+      iff {!shutdown} has begun. *)
+  val submit : t -> (unit -> unit) -> bool
+
+  (** Graceful shutdown: refuses new tasks, drains the queue, joins the
+      workers and absorbs their metric snapshots into the calling
+      domain's registry. *)
+  val shutdown : t -> unit
+end

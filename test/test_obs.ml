@@ -207,6 +207,12 @@ let test_autotune_traced () =
     Tir.Autotune.best m ~mode:Tir.Engine.Linear ~build:gemm.Tir.Kernels.build ~size:512
   in
   Obs.Metrics.reset ();
+  (* Both plan-cache levels are flushed so the worker domains' planners
+     genuinely run: the baseline call above warmed the process-wide L2,
+     which would otherwise serve every worker lookup metric-free. *)
+  Codegen.Plan_cache.clear ();
+  Codegen.Shared_cache.clear ();
+  Codegen.Shared_cache.reset_stats ();
   let t = Obs.Trace.create () in
   let cfg, _ =
     Obs.Trace.with_sink t (fun () ->

@@ -10,33 +10,33 @@
    and paste the lines between the markers. *)
 
 let golden = {golden|
-gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-bf16xint16_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-int4_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-fp8_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-grouped_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-addmm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-bmm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-template_attention|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-flex_attention|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-attention_bwd|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-welford|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-gather_gemv|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-rope|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.warp_shuffle,codegen.shuffle.rounds,codegen.shuffle.vec_bits
-embedding|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-softmax|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-layer_norm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-rms_norm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-cross_entropy|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-fused_linear_cross_entropy|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-cumsum|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-jagged_sum|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-softmax_bwd|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-jagged_mean|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop
-low_mem_dropout|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-swiglu|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-geglu|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
-vector_add|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+bf16xint16_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+int4_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+fp8_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+grouped_gemm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+addmm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+bmm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+template_attention|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shared_cache.misses,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+flex_attention|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shared_cache.misses,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+attention_bwd|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.conversion.warp_shuffle,codegen.shared_cache.misses,codegen.shuffle.rounds,codegen.shuffle.vec_bits,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+welford|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+gather_gemv|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+rope|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.warp_shuffle,codegen.shared_cache.misses,codegen.shuffle.rounds,codegen.shuffle.vec_bits
+embedding|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+softmax|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+layer_norm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+rms_norm|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+cross_entropy|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+fused_linear_cross_entropy|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.staging.ldmatrix,codegen.staging.planned,codegen.staging.vec,codegen.swizzle.conflict_free,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+cumsum|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+jagged_sum|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+softmax_bwd|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+jagged_mean|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.shared_cache.misses
+low_mem_dropout|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+swiglu|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+geglu|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
+vector_add|pipeline(pass/anchor pass/forward_propagate pass/simplify pass/backward_remat pass/insert_conversions pass/lower)|codegen.conversion.noop,codegen.conversion.shared_memory,codegen.shared_cache.misses,codegen.swizzle.load_wavefronts,codegen.swizzle.store_wavefronts,codegen.swizzle.vec_bits
 |golden}
 
 let machine = Gpusim.Machine.gh200
@@ -47,6 +47,8 @@ let machine = Gpusim.Machine.gh200
 let trace_kernel (k : Tir.Kernels.kernel) =
   Linear_layout.Layout.Memo.clear ();
   Codegen.Plan_cache.clear ();
+  Codegen.Shared_cache.clear ();
+  Codegen.Shared_cache.reset_stats ();
   Obs.Metrics.reset ();
   let t = Obs.Trace.create () in
   let prog = k.Tir.Kernels.build ~size:(List.hd k.Tir.Kernels.sizes) in
